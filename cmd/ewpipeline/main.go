@@ -1,0 +1,102 @@
+// Command ewpipeline runs the Figure 1 measurement pipeline step by
+// step with progress reporting — the operational view of the study,
+// as opposed to ewreport's final tables.
+//
+// Usage:
+//
+//	ewpipeline [-seed N] [-scale F]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/synth"
+)
+
+func step(name string) func() {
+	start := time.Now()
+	fmt.Printf("==> %s\n", name)
+	return func() {
+		fmt.Printf("    done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func main() {
+	seed := flag.Uint64("seed", 2019, "world seed")
+	scale := flag.Float64("scale", 0.05, "corpus scale")
+	flag.Parse()
+	ctx := context.Background()
+
+	done := step("generate world")
+	study := core.NewStudy(core.Options{Synth: synth.Config{Seed: *seed, Scale: *scale}})
+	defer study.Close()
+	done()
+
+	done = step("select eWhoring threads (keyword search + HF board)")
+	ew := study.SelectEWhoring()
+	fmt.Printf("    %d threads\n", len(ew))
+	done()
+
+	done = step("train hybrid TOP classifier + sweep corpus")
+	cls, err := study.TrainAndExtract(ew)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ewpipeline:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("    P=%.2f R=%.2f F1=%.2f; TOPs=%d (ML %d, heur %d, both %d)\n",
+		cls.Metrics.Precision(), cls.Metrics.Recall(), cls.Metrics.F1(),
+		len(cls.Extract.TOPs), cls.Extract.MLCount, cls.Extract.HeurCount, cls.Extract.BothCount)
+	done()
+
+	done = step("extract URLs + snowball whitelist")
+	links := study.ExtractLinks(cls.Extract.TOPs)
+	fmt.Printf("    %d tasks from %d TOPs (+%d snowballed domains)\n",
+		len(links.Tasks), links.ThreadsWithLinks, links.SnowballAdded)
+	done()
+
+	done = step("crawl over live HTTP")
+	results := study.CrawlLinks(ctx, links.Tasks)
+	st := crawler.Summarize(results)
+	fmt.Printf("    %d preview images, %d packs (%d images), %d unique\n",
+		st.PreviewImages, st.PacksFetched, st.PackImages, st.UniqueImages)
+	done()
+
+	done = step("PhotoDNA filter (report + delete)")
+	safe, pdna := study.FilterAbuse(results)
+	fmt.Printf("    %d matches reported, %d URLs actioned, %d images pass\n",
+		pdna.Matches, pdna.ActionableURLs, len(safe))
+	done()
+
+	done = step("NSFV classification (Algorithm 1)")
+	nsfvRes := study.ClassifyNSFV(safe)
+	fmt.Printf("    %d NSFV previews, %d SFV, %d pack images\n",
+		len(nsfvRes.Previews), len(nsfvRes.SFV), len(nsfvRes.PackImages))
+	done()
+
+	done = step("reverse image search + provenance")
+	prov := study.Provenance(nsfvRes)
+	fmt.Printf("    packs: %d/%d matched; previews: %d/%d; %d domains; %d zero-match packs\n",
+		prov.Packs.Matched, prov.Packs.Total,
+		prov.Previews.Matched, prov.Previews.Total,
+		len(prov.Domains), prov.ZeroMatch)
+	done()
+
+	done = step("earnings analysis (§5)")
+	earn := study.AnalyzeEarnings(ctx, ew)
+	fmt.Printf("    %d proofs by %d actors, total $%.0f\n",
+		earn.Summary.Proofs, earn.Summary.Actors, earn.Summary.TotalUSD)
+	done()
+
+	done = step("actor analysis (§6)")
+	act := study.AnalyzeActors(ew, cls.Extract.TOPs, earn.Proofs)
+	fmt.Printf("    %d profiles, %d key actors\n", len(act.Profiles), len(act.Key.All))
+	done()
+
+	fmt.Println("pipeline complete")
+}

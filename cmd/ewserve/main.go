@@ -1,0 +1,63 @@
+// Command ewserve runs the study's simulated web substrate as live
+// HTTP services: the hosting world (image-sharing + cloud-storage
+// sites), the reverse image search and the Wayback archive. Useful for
+// poking the substrate with curl or wiring external tooling against
+// it.
+//
+// Usage:
+//
+//	ewserve [-seed N] [-scale F] [-hosting :8081] [-reverse :8082] [-wayback :8083]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/reverse"
+	"repro/internal/synth"
+	"repro/internal/wayback"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2019, "world seed")
+	scale := flag.Float64("scale", 0.05, "corpus scale")
+	hostingAddr := flag.String("hosting", "127.0.0.1:8081", "hosting world listen address")
+	reverseAddr := flag.String("reverse", "127.0.0.1:8082", "reverse image search listen address")
+	waybackAddr := flag.String("wayback", "127.0.0.1:8083", "wayback archive listen address")
+	flag.Parse()
+
+	start := time.Now()
+	w := synth.Generate(synth.Config{Seed: *seed, Scale: *scale})
+	fmt.Printf("world ready in %v (%d reverse records, %d archived URLs)\n",
+		time.Since(start).Round(time.Millisecond), w.Reverse.Len(), w.Wayback.NumURLs())
+
+	serve := func(name, addr string, h http.Handler) *http.Server {
+		srv := &http.Server{Addr: addr, Handler: h, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			fmt.Printf("%s listening on http://%s\n", name, addr)
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}()
+		return srv
+	}
+	servers := []*http.Server{
+		serve("hosting", *hostingAddr, w.Web),
+		serve("reverse", *reverseAddr, reverse.Handler(w.Reverse)),
+		serve("wayback", *waybackAddr, wayback.Handler(w.Wayback)),
+	}
+	fmt.Println("example: curl http://" + *hostingAddr + "/imgur.com/landing")
+	fmt.Println("Ctrl-C to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	for _, srv := range servers {
+		srv.Close()
+	}
+}

@@ -1,0 +1,72 @@
+// Command ewsynth generates the synthetic CrimeBB-like world and
+// prints its corpus statistics, for inspecting what the study runs on.
+//
+// Usage:
+//
+//	ewsynth [-seed N] [-scale F] [-noimages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/synth"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2019, "world seed")
+	scale := flag.Float64("scale", 0.1, "corpus scale (1.0 ≈ paper scale)")
+	noImages := flag.Bool("noimages", false, "skip the image world")
+	export := flag.String("export", "", "write the forum corpus as JSONL to this file")
+	flag.Parse()
+
+	start := time.Now()
+	w := synth.Generate(synth.Config{Seed: *seed, Scale: *scale, SkipImages: *noImages})
+	fmt.Printf("generated in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ewsynth:", err)
+			os.Exit(1)
+		}
+		if err := w.Store.Export(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ewsynth: export:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ewsynth: export:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("corpus exported to %s\n", *export)
+	}
+
+	fmt.Printf("forums:  %d\n", w.Store.NumForums())
+	fmt.Printf("boards:  %d\n", w.Store.NumBoards())
+	fmt.Printf("threads: %d\n", w.Store.NumThreads())
+	fmt.Printf("posts:   %d\n", w.Store.NumPosts())
+	fmt.Printf("actors:  %d\n", w.Store.NumActors())
+	if first, last, ok := w.Store.Span(); ok {
+		fmt.Printf("span:    %s .. %s\n", first.Format("2006-01"), last.Format("2006-01"))
+	}
+	fmt.Println()
+	fmt.Println("eWhoring ground truth per forum:")
+	for _, f := range w.Store.Forums() {
+		tops := 0
+		for _, tid := range w.EWhoring[f.ID] {
+			if tr := w.Truth[tid]; tr != nil && tr.Kind == synth.KindTOP {
+				tops++
+			}
+		}
+		fmt.Printf("  %-16s threads=%-6d TOPs=%d\n", f.Name, len(w.EWhoring[f.ID]), tops)
+	}
+	fmt.Println()
+	fmt.Printf("models: %d (flagged TOPs: %d)\n", len(w.Models), w.NumFlaggedTOPs)
+	fmt.Printf("reverse index: %d records; wayback: %d URLs; domains: %d\n",
+		w.Reverse.Len(), w.Wayback.NumURLs(), w.Directory.Len())
+	fmt.Printf("hashlist entries: %d\n", w.HashList.Len())
+	fmt.Printf("proof links: %d; preview links: %d; pack links: %d\n",
+		len(w.Proofs), w.NumPreviewLinks, w.NumPackLinks)
+}

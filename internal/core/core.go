@@ -1,0 +1,755 @@
+// Package core orchestrates the complete study: the Figure 1 pipeline
+// (thread selection → TOP classification → URL extraction → crawling →
+// PhotoDNA filtering → NSFV classification → reverse image search →
+// domain classification), the §5 financial analysis and the §6 actor
+// analysis. Study is the public entry point used by the command-line
+// tools, the examples and the benchmark harness.
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/actors"
+	"repro/internal/crawler"
+	"repro/internal/domaincls"
+	"repro/internal/earnings"
+	"repro/internal/forum"
+	"repro/internal/imagex"
+	"repro/internal/ml"
+	"repro/internal/nsfv"
+	"repro/internal/photodna"
+	"repro/internal/reverse"
+	"repro/internal/socialgraph"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/topclass"
+	"repro/internal/urlx"
+)
+
+// Options configures a Study run.
+type Options struct {
+	// Synth configures world generation.
+	Synth synth.Config
+	// AnnotationSize is the size of the manually-annotated thread
+	// corpus (the paper used 1 000; scaled worlds may use less).
+	AnnotationSize int
+	// TrainFrac is the train/test split (paper: 0.8).
+	TrainFrac float64
+	// ImagesPerPack is how many images per pack go to reverse search
+	// (paper: 3 — the lowest, median and highest NSFW score).
+	ImagesPerPack int
+	// CrawlConcurrency bounds the crawler's workers.
+	CrawlConcurrency int
+}
+
+// DefaultOptions returns the study's standard parameters.
+func DefaultOptions() Options {
+	return Options{
+		Synth:            synth.DefaultConfig(),
+		AnnotationSize:   1000,
+		TrainFrac:        0.8,
+		ImagesPerPack:    3,
+		CrawlConcurrency: 8,
+	}
+}
+
+// Study holds the generated world and everything derived from it.
+type Study struct {
+	Opts  Options
+	World *synth.World
+
+	// Hybrid is the trained TOP classifier.
+	Hybrid *topclass.Hybrid
+	// Whitelist is the (snowball-expanded) hosting whitelist.
+	Whitelist *urlx.Whitelist
+	// Hotline collects PhotoDNA reports.
+	Hotline *photodna.Hotline
+
+	server *httptest.Server
+}
+
+// NewStudy generates the world and prepares the study.
+func NewStudy(opts Options) *Study {
+	if opts.AnnotationSize <= 0 {
+		opts.AnnotationSize = 1000
+	}
+	if opts.TrainFrac <= 0 || opts.TrainFrac >= 1 {
+		opts.TrainFrac = 0.8
+	}
+	if opts.ImagesPerPack <= 0 {
+		opts.ImagesPerPack = 3
+	}
+	if opts.CrawlConcurrency <= 0 {
+		opts.CrawlConcurrency = 8
+	}
+	return &Study{
+		Opts:      opts,
+		World:     synth.Generate(opts.Synth),
+		Whitelist: urlx.DefaultWhitelist(),
+		Hotline:   photodna.NewHotline(),
+	}
+}
+
+// Close shuts down the embedded hosting server if one was started.
+func (s *Study) Close() {
+	if s.server != nil {
+		s.server.Close()
+		s.server = nil
+	}
+}
+
+// hostingServer lazily starts the hosting world as a live HTTP server.
+func (s *Study) hostingServer() *httptest.Server {
+	if s.server == nil {
+		s.server = httptest.NewServer(s.World.Web)
+	}
+	return s.server
+}
+
+// --- Step 0: dataset selection (§3, Table 1) ---------------------------
+
+// ForumOverviewRow is one row of Table 1.
+type ForumOverviewRow struct {
+	Forum     string
+	Threads   int
+	Posts     int
+	FirstPost time.Time
+	TOPs      int // filled after classification
+	Actors    int
+}
+
+// SelectEWhoring performs the paper's dataset selection: every thread
+// whose heading contains 'ewhor' or 'e-whor' (lowercase comparison)
+// plus every thread of the Hackforums eWhoring board.
+func (s *Study) SelectEWhoring() []forum.ThreadID {
+	set := forum.NewThreadSet(s.World.Store.SearchHeadings(topclass.EWhoringKeywords...)...)
+	set.Add(s.World.Store.ThreadsInBoard(s.World.HFEWhoring)...)
+	return set.Sorted()
+}
+
+// ForumOverview computes Table 1 (without the TOP column; merge with
+// classification results for the full table).
+func (s *Study) ForumOverview(ew []forum.ThreadID) []ForumOverviewRow {
+	store := s.World.Store
+	byForum := make(map[forum.ForumID]*ForumOverviewRow)
+	actorsSeen := make(map[forum.ForumID]map[forum.ActorID]struct{})
+	for _, tid := range ew {
+		th := store.Thread(tid)
+		row, ok := byForum[th.Forum]
+		if !ok {
+			row = &ForumOverviewRow{Forum: store.Forum(th.Forum).Name}
+			byForum[th.Forum] = row
+			actorsSeen[th.Forum] = make(map[forum.ActorID]struct{})
+		}
+		row.Threads++
+		for _, p := range store.PostsInThread(tid) {
+			row.Posts++
+			actorsSeen[th.Forum][p.Author] = struct{}{}
+			if row.FirstPost.IsZero() || p.Created.Before(row.FirstPost) {
+				row.FirstPost = p.Created
+			}
+		}
+	}
+	var rows []ForumOverviewRow
+	for fid, row := range byForum {
+		row.Actors = len(actorsSeen[fid])
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Threads > rows[j].Threads })
+	return rows
+}
+
+// --- Step 1: TOP classification (§4.1) ---------------------------------
+
+// ClassifierResult carries the §4.1 evaluation and corpus sweep.
+type ClassifierResult struct {
+	Annotated  int
+	TOPsInAnno int
+	Metrics    ml.Metrics
+	Extract    topclass.ExtractResult
+	// TOPsByForum supports Table 1's TOP column.
+	TOPsByForum map[string]int
+}
+
+// TrainAndExtract reproduces §4.1: annotate a thread sample, train on
+// TrainFrac of it, evaluate on the rest, then sweep the whole
+// eWhoring corpus with the hybrid classifier.
+func (s *Study) TrainAndExtract(ew []forum.ThreadID) (ClassifierResult, error) {
+	n := s.Opts.AnnotationSize
+	if n > len(ew) {
+		n = len(ew)
+	}
+	sample := s.World.AnnotationSample(n, s.Opts.Synth.Seed+1)
+	labeled := make([]topclass.Labeled, len(sample))
+	tops := 0
+	for i, l := range sample {
+		labeled[i] = topclass.Labeled{Thread: l.Thread, IsTOP: l.IsTOP}
+		if l.IsTOP {
+			tops++
+		}
+	}
+	cut := int(s.Opts.TrainFrac * float64(len(labeled)))
+	if cut < 1 || cut >= len(labeled) {
+		return ClassifierResult{}, fmt.Errorf("core: annotation sample too small (%d)", len(labeled))
+	}
+	train, test := labeled[:cut], labeled[cut:]
+	hybrid, err := topclass.Train(s.World.Store, s.Whitelist, train, ml.DefaultSVMConfig())
+	if err != nil {
+		return ClassifierResult{}, err
+	}
+	s.Hybrid = hybrid
+	res := ClassifierResult{
+		Annotated:   len(labeled),
+		TOPsInAnno:  tops,
+		Metrics:     hybrid.Evaluate(test),
+		Extract:     hybrid.Extract(ew),
+		TOPsByForum: make(map[string]int),
+	}
+	for _, tid := range res.Extract.TOPs {
+		f := s.World.Store.Forum(s.World.Store.Thread(tid).Forum)
+		res.TOPsByForum[f.Name]++
+	}
+	return res, nil
+}
+
+// --- Step 2: URL extraction (§4.2, Tables 3 and 4) ---------------------
+
+// LinkExtraction is the outcome of sweeping TOPs for hosting links.
+type LinkExtraction struct {
+	// Links are all whitelisted links with provenance.
+	Tasks []crawler.Task
+	// ImageSharing and CloudStorage are the Table 3/4 tallies.
+	ImageSharing []urlx.DomainCount
+	CloudStorage []urlx.DomainCount
+	// ThreadsWithLinks counts TOPs that yielded at least one link
+	// (paper: 774 of 4 137, 18.71%).
+	ThreadsWithLinks int
+	// SnowballAdded is the number of domains the snowball sampling
+	// added to the whitelist.
+	SnowballAdded int
+}
+
+// ExtractLinks pulls URLs from every post of the given TOPs,
+// snowball-expands the whitelist against the live web, and classifies
+// the links.
+func (s *Study) ExtractLinks(tops []forum.ThreadID) LinkExtraction {
+	store := s.World.Store
+	type located struct {
+		url    string
+		thread forum.ThreadID
+		post   forum.PostID
+		author forum.ActorID
+	}
+	var all []located
+	var urls []string
+	for _, tid := range tops {
+		for _, p := range store.PostsInThread(tid) {
+			for _, u := range urlx.Extract(p.Body) {
+				all = append(all, located{u, tid, p.ID, p.Author})
+				urls = append(urls, u)
+			}
+		}
+	}
+	// Snowball sampling against site landing pages.
+	added := urlx.Snowball(s.Whitelist, urls, s.World.Web.VisitKind, 5)
+
+	out := LinkExtraction{SnowballAdded: added}
+	var links []urlx.Link
+	withLinks := make(map[forum.ThreadID]struct{})
+	for _, l := range all {
+		link := s.Whitelist.Classify(l.url)
+		if link.Kind == urlx.KindUnknown {
+			continue
+		}
+		links = append(links, link)
+		withLinks[l.thread] = struct{}{}
+		out.Tasks = append(out.Tasks, crawler.Task{
+			Link: link, Thread: l.thread, Post: l.post, Author: l.author,
+		})
+	}
+	out.ThreadsWithLinks = len(withLinks)
+	out.ImageSharing = urlx.SortedCounts(urlx.CountByDomain(links, urlx.KindImageSharing))
+	out.CloudStorage = urlx.SortedCounts(urlx.CountByDomain(links, urlx.KindCloudStorage))
+	return out
+}
+
+// --- Step 3: crawling (§4.2) -------------------------------------------
+
+// CrawlLinks downloads every task over live HTTP against the embedded
+// hosting server.
+func (s *Study) CrawlLinks(ctx context.Context, tasks []crawler.Task) []crawler.Result {
+	srv := s.hostingServer()
+	c := crawler.New(crawler.Config{Concurrency: s.Opts.CrawlConcurrency},
+		srv.Client(), s.World.Web.Resolver(srv.URL))
+	return c.Crawl(ctx, tasks)
+}
+
+// --- Step 4: PhotoDNA gate (§4.3) ---------------------------------------
+
+// SafeImage is a downloaded image that passed the hashlist gate.
+type SafeImage struct {
+	Image  *imagex.Image
+	Task   crawler.Task
+	IsPack bool
+}
+
+// FilterAbuse passes every downloaded image through the PhotoDNA
+// filter. Matches are reported to the hotline (with reverse-search URL
+// reports, as in §4.3) and withheld from the returned set.
+func (s *Study) FilterAbuse(results []crawler.Result) ([]SafeImage, photodna.ActionSummary) {
+	filter := photodna.NewFilter(s.World.HashList, s.Hotline)
+	var safe []SafeImage
+	for _, r := range results {
+		if r.Outcome != crawler.OutcomeOK {
+			continue
+		}
+		for _, im := range r.Images {
+			entry, matched := s.World.HashList.Match(im)
+			if !matched {
+				safe = append(safe, SafeImage{Image: im, Task: r.Task, IsPack: r.IsPack})
+				continue
+			}
+			// Report with the URLs where reverse search finds the
+			// same image.
+			var urlReports []photodna.URLReport
+			for _, m := range s.World.Reverse.Search(im) {
+				urlReports = append(urlReports, photodna.URLReport{
+					URL:      m.URL,
+					Region:   s.World.RegionOf(m.Domain),
+					SiteType: s.World.SiteTypeOf(m.Domain),
+				})
+			}
+			_ = entry
+			filter.Check(im, int(r.Task.Thread), int(r.Task.Post), urlReports)
+		}
+	}
+	return safe, s.Hotline.Summarize()
+}
+
+// --- Step 5: NSFV classification (§4.4) ----------------------------------
+
+// NSFVResult splits the image-site downloads.
+type NSFVResult struct {
+	Previews []SafeImage // NSFV → treated as pack previews
+	SFV      []SafeImage // error banners, directory screenshots, ...
+	// PackImages are pack-archive members (always handled
+	// programmatically; never viewed).
+	PackImages []SafeImage
+}
+
+// ClassifyNSFV runs Algorithm 1 over the image-site downloads.
+func (s *Study) ClassifyNSFV(safe []SafeImage) NSFVResult {
+	clf := nsfv.New()
+	var out NSFVResult
+	for _, si := range safe {
+		if si.IsPack {
+			out.PackImages = append(out.PackImages, si)
+			continue
+		}
+		if clf.IsSFV(si.Image) {
+			out.SFV = append(out.SFV, si)
+		} else {
+			out.Previews = append(out.Previews, si)
+		}
+	}
+	return out
+}
+
+// --- Step 6: reverse search and provenance (§4.5, Tables 5 and 6) -------
+
+// ReverseRow is one row of Table 5.
+type ReverseRow struct {
+	Corpus     string
+	Total      int
+	Matched    int
+	SeenBefore int
+	AvgMatches float64 // over matched images
+	MaxMatches int
+}
+
+// ProvenanceResult carries Table 5, the matched domains and Table 6.
+type ProvenanceResult struct {
+	Packs     ReverseRow
+	Previews  ReverseRow
+	ZeroMatch int // packs whose sampled images all have zero matches
+	Domains   []string
+	Table6    map[string][]domaincls.TagCount
+}
+
+// Provenance reverse-searches all previews and ImagesPerPack images
+// per pack (lowest, median and highest NSFW score, per the paper),
+// checks Seen-Before against crawl dates and the Wayback archive, and
+// classifies the matched domains with the three classifiers.
+func (s *Study) Provenance(n NSFVResult) ProvenanceResult {
+	store := s.World.Store
+	domains := make(map[string]struct{})
+
+	postDate := func(t crawler.Task) time.Time {
+		return store.Post(t.Post).Created
+	}
+	searchAll := func(images []SafeImage, row *ReverseRow) map[forum.ThreadID][]int {
+		matchedPerThread := make(map[forum.ThreadID][]int)
+		for _, si := range images {
+			row.Total++
+			matches := s.World.Reverse.Search(si.Image)
+			matchedPerThread[si.Task.Thread] = append(matchedPerThread[si.Task.Thread], len(matches))
+			if len(matches) == 0 {
+				continue
+			}
+			row.Matched++
+			row.AvgMatches += float64(len(matches))
+			if len(matches) > row.MaxMatches {
+				row.MaxMatches = len(matches)
+			}
+			seen := reverse.SeenBefore(matches, postDate(si.Task))
+			if !seen {
+				for _, m := range matches {
+					if s.World.Wayback.SeenBefore(m.URL, postDate(si.Task)) {
+						seen = true
+						break
+					}
+				}
+			}
+			if seen {
+				row.SeenBefore++
+			}
+			for _, m := range matches {
+				domains[m.Domain] = struct{}{}
+			}
+		}
+		if row.Matched > 0 {
+			row.AvgMatches /= float64(row.Matched)
+		}
+		return matchedPerThread
+	}
+
+	res := ProvenanceResult{
+		Packs:    ReverseRow{Corpus: "packs"},
+		Previews: ReverseRow{Corpus: "previews"},
+	}
+	sampled := samplePackImages(n.PackImages, s.Opts.ImagesPerPack)
+	perThread := searchAll(sampled, &res.Packs)
+	searchAll(n.Previews, &res.Previews)
+
+	// Zero-match packs: sampled threads whose every sampled image had
+	// zero matches.
+	for _, counts := range perThread {
+		zero := true
+		for _, c := range counts {
+			if c > 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			res.ZeroMatch++
+		}
+	}
+
+	res.Domains = make([]string, 0, len(domains))
+	for d := range domains {
+		res.Domains = append(res.Domains, d)
+	}
+	sort.Strings(res.Domains)
+	res.Table6 = map[string][]domaincls.TagCount{
+		"McAfee":     domaincls.Tally(domaincls.NewMcAfee(s.World.Directory), res.Domains, 85),
+		"VirusTotal": domaincls.Tally(domaincls.NewVirusTotal(s.World.Directory), res.Domains, 85),
+		"OpenDNS":    domaincls.Tally(domaincls.NewOpenDNS(s.World.Directory), res.Domains, 85),
+	}
+	return res
+}
+
+// samplePackImages picks k images per (thread, pack link): the lowest,
+// median and highest NSFW-scoring images, as the paper samples.
+func samplePackImages(packImages []SafeImage, k int) []SafeImage {
+	type packKey struct {
+		thread forum.ThreadID
+		post   forum.PostID
+		url    string
+	}
+	groups := make(map[packKey][]SafeImage)
+	var order []packKey
+	for _, si := range packImages {
+		key := packKey{si.Task.Thread, si.Task.Post, si.Task.Link.URL}
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], si)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].thread != order[j].thread {
+			return order[i].thread < order[j].thread
+		}
+		return order[i].url < order[j].url
+	})
+	scorer := nsfv.New().Scorer
+	var out []SafeImage
+	for _, key := range order {
+		imgs := groups[key]
+		sort.Slice(imgs, func(i, j int) bool {
+			return scorer.Score(imgs[i].Image) < scorer.Score(imgs[j].Image)
+		})
+		picks := []int{0, len(imgs) / 2, len(imgs) - 1}
+		if k < len(picks) {
+			picks = picks[:k]
+		}
+		seen := map[int]struct{}{}
+		for _, p := range picks {
+			if _, dup := seen[p]; !dup {
+				seen[p] = struct{}{}
+				out = append(out, imgs[p])
+			}
+		}
+	}
+	return out
+}
+
+// --- §5: financial analysis ---------------------------------------------
+
+// EarningsResult carries the §5 outputs.
+type EarningsResult struct {
+	ThreadsMatched int
+	URLs           int
+	Downloaded     int
+	FilteredNSFV   int
+	NotProofs      int
+	Proofs         []earnings.Proof
+	Summary        earnings.Summary
+	// PerActorUSD / PerActorProofs feed Figure 2.
+	PerActorUSD    []float64
+	PerActorProofs []float64
+	// Monthly series per platform feed Figure 3.
+	MonthlyAGC    *stats.MonthlySeries
+	MonthlyPayPal *stats.MonthlySeries
+}
+
+// AnalyzeEarnings reproduces §5.1-5.2: locate earnings threads
+// (heading keywords within the eWhoring corpus plus the Bragging
+// Rights board), extract image links, crawl them, gate through
+// PhotoDNA and NSFV, OCR-annotate the survivors into structured
+// proofs, and aggregate.
+func (s *Study) AnalyzeEarnings(ctx context.Context, ew []forum.ThreadID) EarningsResult {
+	store := s.World.Store
+	var res EarningsResult
+
+	// Thread selection: "threads containing the words 'you make' or
+	// 'earn' in their heading" plus the Bragging Rights board.
+	selected := forum.NewThreadSet()
+	for _, tid := range ew {
+		h := strings.ToLower(store.Thread(tid).Heading)
+		if strings.Contains(h, "you make") || strings.Contains(h, "earn") ||
+			strings.Contains(h, "profit") || strings.Contains(h, "proof") {
+			selected.Add(tid)
+		}
+	}
+	selected.Add(store.ThreadsInBoard(s.World.HFBragging)...)
+	res.ThreadsMatched = selected.Len()
+
+	// Extract image-sharing links from the posts.
+	var tasks []crawler.Task
+	for _, tid := range selected.Sorted() {
+		for _, p := range store.PostsInThread(tid) {
+			for _, u := range urlx.Extract(p.Body) {
+				link := s.Whitelist.Classify(u)
+				if link.Kind != urlx.KindImageSharing {
+					continue
+				}
+				tasks = append(tasks, crawler.Task{Link: link, Thread: tid, Post: p.ID, Author: p.Author})
+			}
+		}
+	}
+	res.URLs = len(tasks)
+
+	results := s.CrawlLinks(ctx, tasks)
+	safe, _ := s.FilterAbuse(results)
+	res.Downloaded = 0
+	for _, r := range results {
+		if r.Outcome == crawler.OutcomeOK {
+			res.Downloaded += len(r.Images)
+		}
+	}
+	clf := nsfv.New()
+	res.MonthlyAGC = stats.NewMonthlySeries()
+	res.MonthlyPayPal = stats.NewMonthlySeries()
+	for _, si := range safe {
+		if !clf.IsSFV(si.Image) {
+			res.FilteredNSFV++
+			continue
+		}
+		posted := store.Post(si.Task.Post).Created
+		proof, err := earnings.AnnotateImage(si.Image, posted)
+		if err != nil {
+			res.NotProofs++
+			continue
+		}
+		proof.Actor = si.Task.Author
+		proof.Post = si.Task.Post
+		res.Proofs = append(res.Proofs, proof)
+		switch proof.Platform {
+		case earnings.PlatformAGC:
+			res.MonthlyAGC.Add(posted)
+		case earnings.PlatformPayPal:
+			res.MonthlyPayPal.Add(posted)
+		}
+	}
+	res.Summary = earnings.Summarize(res.Proofs)
+	for _, a := range earnings.AggregateByActor(res.Proofs) {
+		res.PerActorUSD = append(res.PerActorUSD, a.TotalUSD)
+		res.PerActorProofs = append(res.PerActorProofs, float64(a.Proofs))
+	}
+	return res
+}
+
+// HeavyPosterThreshold scales the paper's ">50 eWhoring posts" cut to
+// the world's scale.
+func (s *Study) HeavyPosterThreshold() int {
+	thr := int(50 * s.Opts.Synth.Scale * 4)
+	if thr < 3 {
+		thr = 3
+	}
+	if thr > 50 {
+		thr = 50
+	}
+	return thr
+}
+
+// ExchangeAnalysis computes Table 7 over the Currency Exchange
+// threads of actors above the heavy-poster threshold, posted after
+// they started eWhoring.
+func (s *Study) ExchangeAnalysis(profiles map[forum.ActorID]*actors.Profile) earnings.ExchangeTable {
+	store := s.World.Store
+	thr := s.HeavyPosterThreshold()
+	var headings []string
+	for _, tid := range store.ThreadsInBoard(s.World.HFCurrency) {
+		th := store.Thread(tid)
+		p := profiles[th.Author]
+		if p == nil || p.EwPosts < thr {
+			continue
+		}
+		if th.Created.Before(p.FirstEw) {
+			continue
+		}
+		headings = append(headings, th.Heading)
+	}
+	return earnings.TallyExchange(headings)
+}
+
+// --- §6: actor analysis ---------------------------------------------------
+
+// ActorAnalysis carries the §6 outputs.
+type ActorAnalysis struct {
+	Profiles map[forum.ActorID]*actors.Profile
+	Table8   []actors.BucketRow
+	// Samples per bucket threshold feed Figure 4.
+	Fig4 map[int]actors.Samples
+	Key  actors.KeyActors
+	// Inputs holds the per-criterion scores (exported for reporting).
+	Inputs  actors.KeyActorInputs
+	Table9  map[actors.Group]map[actors.Group]int
+	Table10 []actors.GroupStats
+	Fig5    map[actors.InterestPhase]actors.InterestProfile
+}
+
+// AnalyzeActors reproduces §6 end-to-end. tops lists the classified
+// TOPs (for the pack-sharer criterion); proofs the parsed earnings.
+func (s *Study) AnalyzeActors(ew []forum.ThreadID, tops []forum.ThreadID, proofs []earnings.Proof) ActorAnalysis {
+	store := s.World.Store
+	out := ActorAnalysis{}
+	out.Profiles = actors.BuildProfiles(store, ew)
+	out.Table8 = actors.Buckets(out.Profiles, nil)
+	out.Fig4 = map[int]actors.Samples{}
+	for _, thr := range actors.Table8Thresholds {
+		out.Fig4[thr] = actors.CollectSamples(out.Profiles, thr)
+	}
+
+	graph := socialgraph.Build(store, ew)
+	packs := make(map[forum.ActorID]int)
+	for _, tid := range tops {
+		packs[store.Thread(tid).Author]++
+	}
+	earn := make(map[forum.ActorID]float64)
+	for _, a := range earnings.AggregateByActor(proofs) {
+		earn[a.Actor] = a.TotalUSD
+	}
+	scores, counts := actors.ExchangeScores(store, s.World.HFCurrency, out.Profiles)
+	out.Inputs = actors.KeyActorInputs{
+		PacksShared:     packs,
+		EarningsUSD:     earn,
+		Popularity:      socialgraph.ComputePopularity(store, ew),
+		Centrality:      graph.EigenvectorCentrality(80, 1e-9),
+		ExchangeScore:   scores,
+		ExchangeThreads: counts,
+	}
+	sel := actors.DefaultSelection()
+	if s.Opts.Synth.Scale < 0.5 {
+		// Scale the top-k and pack minimum so small worlds still
+		// produce multi-member groups.
+		sel.TopK = int(50 * s.Opts.Synth.Scale * 10)
+		if sel.TopK < 10 {
+			sel.TopK = 10
+		}
+		if sel.TopK > 50 {
+			sel.TopK = 50
+		}
+		sel.MinPacks = 2
+	}
+	out.Key = actors.SelectKeyActors(out.Inputs, sel)
+	out.Table9 = out.Key.Intersections()
+	out.Table10 = out.Key.GroupCharacteristics(out.Profiles, out.Inputs)
+	out.Fig5 = actors.Interests(store, out.Key.All, out.Profiles,
+		forum.NewThreadSet(ew...), "Lounge")
+	return out
+}
+
+// --- Full run --------------------------------------------------------------
+
+// Results bundles every table and figure of the study.
+type Results struct {
+	EWhoringThreads []forum.ThreadID
+	Table1          []ForumOverviewRow
+	Classifier      ClassifierResult
+	Links           LinkExtraction
+	CrawlStats      crawler.Stats
+	PhotoDNA        photodna.ActionSummary
+	NSFV            NSFVResult
+	Provenance      ProvenanceResult
+	Earnings        EarningsResult
+	Table7          earnings.ExchangeTable
+	Actors          ActorAnalysis
+}
+
+// Run executes the complete study.
+func (s *Study) Run(ctx context.Context) (*Results, error) {
+	defer s.Close()
+	res := &Results{}
+	res.EWhoringThreads = s.SelectEWhoring()
+	res.Table1 = s.ForumOverview(res.EWhoringThreads)
+
+	cls, err := s.TrainAndExtract(res.EWhoringThreads)
+	if err != nil {
+		return nil, err
+	}
+	res.Classifier = cls
+	for i := range res.Table1 {
+		res.Table1[i].TOPs = cls.TOPsByForum[res.Table1[i].Forum]
+	}
+
+	res.Links = s.ExtractLinks(cls.Extract.TOPs)
+	crawlResults := s.CrawlLinks(ctx, res.Links.Tasks)
+	res.CrawlStats = crawler.Summarize(crawlResults)
+
+	safe, pdnaSummary := s.FilterAbuse(crawlResults)
+	res.PhotoDNA = pdnaSummary
+	res.NSFV = s.ClassifyNSFV(safe)
+	res.Provenance = s.Provenance(res.NSFV)
+
+	res.Earnings = s.AnalyzeEarnings(ctx, res.EWhoringThreads)
+	res.Actors = s.AnalyzeActors(res.EWhoringThreads, cls.Extract.TOPs, res.Earnings.Proofs)
+	res.Table7 = s.ExchangeAnalysis(res.Actors.Profiles)
+	return res, nil
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/crawler"
+	"repro/internal/earnings"
+	"repro/internal/synth"
+)
+
+// study and results are computed once: the full pipeline is the
+// expensive integration under test.
+var (
+	runOnce sync.Once
+	study   *Study
+	results *Results
+	runErr  error
+)
+
+func run(t testing.TB) (*Study, *Results) {
+	runOnce.Do(func() {
+		study = NewStudy(Options{
+			Synth:          synth.Config{Seed: 42, Scale: 0.02, ImageSize: 48},
+			AnnotationSize: 400,
+		})
+		results, runErr = study.Run(context.Background())
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return study, results
+}
+
+func TestRunCompletes(t *testing.T) {
+	_, res := run(t)
+	if len(res.EWhoringThreads) == 0 {
+		t.Fatal("no eWhoring threads selected")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	_, res := run(t)
+	if len(res.Table1) != 10 {
+		t.Fatalf("Table 1 rows = %d want 10", len(res.Table1))
+	}
+	if res.Table1[0].Forum != "Hackforums" {
+		t.Fatalf("largest community = %s, want Hackforums", res.Table1[0].Forum)
+	}
+	for _, row := range res.Table1 {
+		if row.Posts < row.Threads {
+			t.Errorf("%s: posts %d < threads %d", row.Forum, row.Posts, row.Threads)
+		}
+		if row.Actors == 0 {
+			t.Errorf("%s: zero actors", row.Forum)
+		}
+		if row.Forum == "BlackHatWorld" && row.TOPs != 0 {
+			t.Errorf("BlackHatWorld TOPs = %d, paper observes none survive moderation", row.TOPs)
+		}
+	}
+}
+
+func TestClassifierInPaperBand(t *testing.T) {
+	_, res := run(t)
+	m := res.Classifier.Metrics
+	t.Logf("classifier: P=%.3f R=%.3f F1=%.3f (paper: 0.92/0.93/0.92)", m.Precision(), m.Recall(), m.F1())
+	if m.Precision() < 0.75 || m.Recall() < 0.75 {
+		t.Fatalf("classifier below band: P=%.3f R=%.3f", m.Precision(), m.Recall())
+	}
+	ex := res.Classifier.Extract
+	if ex.BothCount > ex.MLCount || ex.BothCount > ex.HeurCount {
+		t.Fatal("method overlap exceeds a side")
+	}
+	if len(ex.TOPs) == 0 {
+		t.Fatal("no TOPs extracted")
+	}
+}
+
+func TestLinkTablesShape(t *testing.T) {
+	_, res := run(t)
+	if len(res.Links.ImageSharing) == 0 || len(res.Links.CloudStorage) == 0 {
+		t.Fatal("empty link tables")
+	}
+	// Table 3: imgur leads; Table 4: MediaFire leads.
+	if res.Links.ImageSharing[0].Domain != "imgur.com" {
+		t.Errorf("top image site = %s, want imgur.com", res.Links.ImageSharing[0].Domain)
+	}
+	if res.Links.CloudStorage[0].Domain != "mediafire.com" {
+		t.Errorf("top cloud site = %s, want mediafire.com", res.Links.CloudStorage[0].Domain)
+	}
+	if res.Links.SnowballAdded == 0 {
+		t.Error("snowball sampling added nothing; 'others' rows unreachable")
+	}
+	// Only a minority of TOPs yield links (paper: 18.71%).
+	frac := float64(res.Links.ThreadsWithLinks) / float64(len(res.Classifier.Extract.TOPs))
+	if frac < 0.08 || frac > 0.45 {
+		t.Errorf("TOPs with links fraction %.3f, want ≈0.19", frac)
+	}
+}
+
+func TestCrawlShape(t *testing.T) {
+	_, res := run(t)
+	st := res.CrawlStats
+	if st.PacksFetched == 0 || st.PreviewImages == 0 {
+		t.Fatalf("crawl fetched nothing: %+v", st)
+	}
+	if st.ByOutcome[crawler.OutcomeNotFound] == 0 {
+		t.Error("no link rot observed; the generator should rot ~20% of links")
+	}
+	if st.ByOutcome[crawler.OutcomeLoginRequired] == 0 {
+		t.Error("no registration walls hit")
+	}
+	if st.DuplicateCount == 0 {
+		t.Error("no duplicate images across packs; saturation missing")
+	}
+	if st.UniqueImages >= st.ImagesFetched {
+		t.Error("dedup did nothing")
+	}
+}
+
+func TestPhotoDNAGate(t *testing.T) {
+	_, res := run(t)
+	if res.PhotoDNA.Matches == 0 {
+		t.Fatal("no hashlist matches; the abuse-filter path is dead")
+	}
+	if res.PhotoDNA.ActionableURLs == 0 {
+		t.Fatal("no actionable URLs reported")
+	}
+	// Withheld images must not appear among the safe previews/packs.
+	for _, si := range append(res.NSFV.Previews, res.NSFV.PackImages...) {
+		if _, matched := study.World.HashList.Match(si.Image); matched {
+			t.Fatal("hashlisted image leaked past the filter")
+		}
+	}
+}
+
+func TestNSFVSplitShape(t *testing.T) {
+	_, res := run(t)
+	if len(res.NSFV.Previews) == 0 {
+		t.Fatal("no NSFV previews")
+	}
+	if len(res.NSFV.SFV) == 0 {
+		t.Fatal("no SFV images (banners/directory screenshots expected)")
+	}
+	// Previews are roughly 50-75% of image-site downloads (paper:
+	// 3 496 of 5 788 ≈ 60%).
+	frac := float64(len(res.NSFV.Previews)) / float64(len(res.NSFV.Previews)+len(res.NSFV.SFV))
+	if frac < 0.35 || frac > 0.9 {
+		t.Errorf("NSFV preview fraction %.3f, want ≈0.6", frac)
+	}
+}
+
+func TestProvenanceShape(t *testing.T) {
+	_, res := run(t)
+	p := res.Provenance
+	if p.Packs.Total == 0 || p.Previews.Total == 0 {
+		t.Fatal("reverse search saw nothing")
+	}
+	packRate := float64(p.Packs.Matched) / float64(p.Packs.Total)
+	prevRate := float64(p.Previews.Matched) / float64(p.Previews.Total)
+	t.Logf("match rates: packs %.2f (paper 0.74), previews %.2f (paper 0.49)", packRate, prevRate)
+	if packRate < 0.4 {
+		t.Errorf("pack match rate %.2f too low", packRate)
+	}
+	// Previews are modified more often, so they match less.
+	if prevRate >= packRate {
+		t.Errorf("preview rate %.2f >= pack rate %.2f; modification effect missing", prevRate, packRate)
+	}
+	if p.Packs.SeenBefore == 0 {
+		t.Error("no Seen-Before matches")
+	}
+	if p.Packs.SeenBefore > p.Packs.Matched {
+		t.Error("SeenBefore exceeds matches")
+	}
+	if p.ZeroMatch == 0 {
+		t.Error("no zero-match packs (paper: 203 of 1 255)")
+	}
+	if len(p.Domains) < 10 {
+		t.Errorf("only %d matched domains", len(p.Domains))
+	}
+	for name, rows := range p.Table6 {
+		if len(rows) == 0 {
+			t.Errorf("classifier %s produced no Table 6 rows", name)
+		}
+	}
+}
+
+func TestEarningsShape(t *testing.T) {
+	_, res := run(t)
+	e := res.Earnings
+	if len(e.Proofs) == 0 {
+		t.Fatal("no proofs parsed")
+	}
+	if e.NotProofs == 0 {
+		t.Error("no non-proof images (chat screenshots) encountered")
+	}
+	if e.FilteredNSFV == 0 {
+		t.Error("no indecent images filtered in the earnings path")
+	}
+	if e.Summary.TotalUSD <= 0 {
+		t.Fatal("zero total earnings")
+	}
+	if e.Summary.MeanTransactionUSD < 15 || e.Summary.MeanTransactionUSD > 90 {
+		t.Errorf("mean transaction $%.2f, paper reports ≈$41.90", e.Summary.MeanTransactionUSD)
+	}
+	// AGC + PayPal dominate.
+	agc := e.Summary.ByPlatform[earnings.PlatformAGC]
+	pp := e.Summary.ByPlatform[earnings.PlatformPayPal]
+	if agc+pp < e.Summary.Proofs/2 {
+		t.Errorf("AGC+PayPal = %d of %d proofs; should dominate", agc+pp, e.Summary.Proofs)
+	}
+	if len(e.PerActorUSD) != e.Summary.Actors {
+		t.Error("per-actor series misaligned")
+	}
+	if e.MonthlyAGC.Total() == 0 || e.MonthlyPayPal.Total() == 0 {
+		t.Error("empty Figure 3 series")
+	}
+}
+
+func TestOCRParsedProofsMatchGroundTruth(t *testing.T) {
+	// Every parsed proof must correspond to a generated proof with
+	// the same platform (the OCR pipeline must not hallucinate).
+	_, res := run(t)
+	truthTotals := map[string]int{}
+	for _, pt := range study.World.Proofs {
+		if pt.Kind == 0 { // synth.ProofEarnings
+			truthTotals[string(pt.Truth.Platform)]++
+		}
+	}
+	parsed := map[string]int{}
+	for _, p := range res.Earnings.Proofs {
+		parsed[string(p.Platform)]++
+	}
+	for platform, n := range parsed {
+		if truthTotals[platform] == 0 && n > 0 {
+			t.Errorf("parsed %d proofs for platform %q absent from ground truth", n, platform)
+		}
+		if n > truthTotals[platform] {
+			t.Errorf("parsed more %q proofs (%d) than generated (%d)", platform, n, truthTotals[platform])
+		}
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	_, res := run(t)
+	if res.Table7.Total == 0 {
+		t.Fatal("empty Table 7")
+	}
+	// Paper: AGC offered far exceeds AGC wanted; BTC is the most
+	// wanted.
+	if res.Table7.Offered[earnings.ExAGC] <= res.Table7.Wanted[earnings.ExAGC] {
+		t.Errorf("AGC offered %d <= wanted %d",
+			res.Table7.Offered[earnings.ExAGC], res.Table7.Wanted[earnings.ExAGC])
+	}
+	maxWant, maxKind := 0, earnings.ExUnknown
+	for k, v := range res.Table7.Wanted {
+		if v > maxWant {
+			maxWant, maxKind = v, k
+		}
+	}
+	if maxKind != earnings.ExBTC {
+		t.Errorf("most wanted = %s, paper reports BTC", maxKind)
+	}
+}
+
+func TestActorAnalysisShape(t *testing.T) {
+	_, res := run(t)
+	a := res.Actors
+	if len(a.Profiles) == 0 {
+		t.Fatal("no profiles")
+	}
+	if a.Table8[0].Actors == 0 {
+		t.Fatal("Table 8 empty")
+	}
+	if len(a.Key.All) == 0 {
+		t.Fatal("no key actors")
+	}
+	if len(a.Table10) == 0 {
+		t.Fatal("no Table 10 rows")
+	}
+	before := a.Fig5[0] // PhaseBefore
+	after := a.Fig5[2]  // PhaseAfter
+	if after["Market"] <= before["Market"] {
+		t.Errorf("Figure 5 market shift missing: before %.1f after %.1f",
+			before["Market"], after["Market"])
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	s := NewStudy(Options{Synth: synth.Config{Seed: 1, Scale: 0.01, SkipImages: true}})
+	s.Close()
+	s.Close()
+}

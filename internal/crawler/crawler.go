@@ -1,0 +1,360 @@
+// Package crawler implements the study's custom crawler (§4.2): it
+// takes the preview and pack links extracted from Threads Offering
+// Packs, downloads them over HTTP with bounded concurrency, per-host
+// politeness delays and retries, decompresses pack archives, and
+// annotates every downloaded image with the post metadata it came from
+// ("for each link, we also annotate associated metadata (e.g., the
+// post identifier and author)").
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/forum"
+	"repro/internal/hosting"
+	"repro/internal/imagex"
+	"repro/internal/urlx"
+)
+
+// Outcome classifies what happened when a link was fetched.
+type Outcome int
+
+// Fetch outcomes.
+const (
+	// OutcomeOK: content downloaded and decoded.
+	OutcomeOK Outcome = iota
+	// OutcomeNotFound: the object is gone (404/410) — the link rot the
+	// paper hits constantly ("many files and images had been deleted").
+	OutcomeNotFound
+	// OutcomeLoginRequired: a registration wall; the crawler records
+	// and respects it ("we did not download packs from some sites
+	// requiring registration, e.g., Dropbox or Google Drive").
+	OutcomeLoginRequired
+	// OutcomeSiteDown: the whole service is defunct (oron).
+	OutcomeSiteDown
+	// OutcomeError: transport failure or undecodable payload after
+	// retries.
+	OutcomeError
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeNotFound:
+		return "not found"
+	case OutcomeLoginRequired:
+		return "login required"
+	case OutcomeSiteDown:
+		return "site down"
+	case OutcomeError:
+		return "error"
+	default:
+		return "unknown"
+	}
+}
+
+// Task is one link to fetch, with its forum provenance.
+type Task struct {
+	Link   urlx.Link
+	Thread forum.ThreadID
+	Post   forum.PostID
+	Author forum.ActorID
+}
+
+// Result is the outcome of one task.
+type Result struct {
+	Task    Task
+	Outcome Outcome
+	// Images holds the decoded payload: one image for image-sharing
+	// links, every archive member for pack links.
+	Images []*imagex.Image
+	// IsPack reports whether the payload was a zip archive.
+	IsPack bool
+	Err    error
+}
+
+// Config controls crawl behaviour.
+type Config struct {
+	// Concurrency is the number of parallel workers (default 8).
+	Concurrency int
+	// PerHostDelay is the politeness delay between requests to the
+	// same virtual domain (default 0 — tests and simulations need no
+	// throttling, the field exists for live use).
+	PerHostDelay time.Duration
+	// MaxRetries is the number of re-attempts after transport errors
+	// (default 2).
+	MaxRetries int
+	// MaxBodyBytes caps a response body (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Crawler downloads links through a resolver (virtual domain → live
+// URL) with an injectable HTTP client.
+type Crawler struct {
+	cfg     Config
+	client  *http.Client
+	resolve func(string) (string, error)
+
+	mu       sync.Mutex
+	lastHost map[string]time.Time
+}
+
+// New builds a crawler. client may be nil (http.DefaultClient);
+// resolve may be nil (identity).
+func New(cfg Config, client *http.Client, resolve func(string) (string, error)) *Crawler {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if resolve == nil {
+		resolve = func(s string) (string, error) { return s, nil }
+	}
+	return &Crawler{
+		cfg:      cfg.withDefaults(),
+		client:   client,
+		resolve:  resolve,
+		lastHost: make(map[string]time.Time),
+	}
+}
+
+// Crawl fetches every task with bounded concurrency. Results are
+// returned in task order. Cancel via ctx.
+func (c *Crawler) Crawl(ctx context.Context, tasks []Task) []Result {
+	results := make([]Result, len(tasks))
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < c.cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				results[i] = c.fetchOne(ctx, tasks[i])
+			}
+		}()
+	}
+feed:
+	for i := range tasks {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			for j := i; j < len(tasks); j++ {
+				results[j] = Result{Task: tasks[j], Outcome: OutcomeError, Err: ctx.Err()}
+			}
+			break feed
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	return results
+}
+
+// fetchOne downloads and decodes one task with retries.
+func (c *Crawler) fetchOne(ctx context.Context, t Task) Result {
+	res := Result{Task: t}
+	target, err := c.resolve(t.Link.URL)
+	if err != nil {
+		res.Outcome = OutcomeError
+		res.Err = err
+		return res
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if err := c.politeness(ctx, t.Link.Domain); err != nil {
+			res.Outcome = OutcomeError
+			res.Err = err
+			return res
+		}
+		outcome, images, isPack, err := c.attempt(ctx, target)
+		if err == nil {
+			res.Outcome = outcome
+			res.Images = images
+			res.IsPack = isPack
+			res.Err = nil
+			return res
+		}
+		lastErr = err
+		// Back off briefly before retrying transport errors.
+		select {
+		case <-ctx.Done():
+			res.Outcome = OutcomeError
+			res.Err = ctx.Err()
+			return res
+		case <-time.After(time.Duration(attempt+1) * 10 * time.Millisecond):
+		}
+	}
+	res.Outcome = OutcomeError
+	res.Err = lastErr
+	return res
+}
+
+// politeness enforces the per-host delay.
+func (c *Crawler) politeness(ctx context.Context, host string) error {
+	if c.cfg.PerHostDelay <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	now := time.Now()
+	next := c.lastHost[host].Add(c.cfg.PerHostDelay)
+	if next.Before(now) {
+		next = now
+	}
+	c.lastHost[host] = next
+	c.mu.Unlock()
+	wait := time.Until(next)
+	if wait <= 0 {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(wait):
+		return nil
+	}
+}
+
+// attempt performs a single HTTP round trip and decode. A non-nil
+// error means "retryable transport failure"; definitive outcomes
+// return err == nil.
+func (c *Crawler) attempt(ctx context.Context, target string) (Outcome, []*imagex.Image, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		return OutcomeError, nil, false, err
+	}
+	req.Header.Set("User-Agent", "ewhoring-study-crawler/1.0 (research)")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return OutcomeError, nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotFound, http.StatusGone:
+		return OutcomeNotFound, nil, false, nil
+	case http.StatusUnauthorized, http.StatusForbidden:
+		return OutcomeLoginRequired, nil, false, nil
+	case http.StatusServiceUnavailable, http.StatusBadGateway:
+		return OutcomeSiteDown, nil, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return OutcomeError, nil, false, fmt.Errorf("crawler: unexpected status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		return OutcomeError, nil, false, err
+	}
+	ct := resp.Header.Get("Content-Type")
+	switch {
+	case strings.HasPrefix(ct, hosting.ContentTypeSIMG):
+		im, err := imagex.Decode(body)
+		if err != nil {
+			return OutcomeError, nil, false, fmt.Errorf("crawler: bad image payload: %w", err)
+		}
+		return OutcomeOK, []*imagex.Image{im}, false, nil
+	case strings.HasPrefix(ct, hosting.ContentTypeZip):
+		images, err := imagex.DecodePackZip(body)
+		if err != nil {
+			return OutcomeOK, nil, true, fmt.Errorf("crawler: bad pack payload: %w", err)
+		}
+		return OutcomeOK, images, true, nil
+	default:
+		// HTML or other: treat as an error page without content.
+		return OutcomeNotFound, nil, false, nil
+	}
+}
+
+// Stats aggregates crawl results.
+type Stats struct {
+	Tasks          int
+	ByOutcome      map[Outcome]int
+	ImagesFetched  int
+	PacksFetched   int
+	PackImages     int
+	PreviewImages  int
+	UniqueImages   int
+	DuplicateCount int
+}
+
+// Summarize computes crawl statistics, including deduplication by
+// exact perceptual hash pair (the paper: "After removing duplicates
+// ... there were 53 948 unique files").
+func Summarize(results []Result) Stats {
+	s := Stats{Tasks: len(results), ByOutcome: make(map[Outcome]int)}
+	type key struct{ a, d imagex.Hash }
+	seen := make(map[key]struct{})
+	for _, r := range results {
+		s.ByOutcome[r.Outcome]++
+		if r.Outcome != OutcomeOK {
+			continue
+		}
+		if r.IsPack {
+			s.PacksFetched++
+			s.PackImages += len(r.Images)
+		} else {
+			s.PreviewImages += len(r.Images)
+		}
+		s.ImagesFetched += len(r.Images)
+		for _, im := range r.Images {
+			k := key{imagex.AHash(im), imagex.DHash(im)}
+			if _, dup := seen[k]; dup {
+				s.DuplicateCount++
+			} else {
+				seen[k] = struct{}{}
+			}
+		}
+	}
+	s.UniqueImages = len(seen)
+	return s
+}
+
+// ErrNoTasks is returned by helpers that require at least one task.
+var ErrNoTasks = errors.New("crawler: no tasks")
+
+// TasksFromLinks builds tasks from classified links plus uniform
+// provenance, skipping unknown-kind links.
+func TasksFromLinks(links []urlx.Link, thread forum.ThreadID, post forum.PostID, author forum.ActorID) []Task {
+	var out []Task
+	for _, l := range links {
+		if l.Kind == urlx.KindUnknown {
+			continue
+		}
+		out = append(out, Task{Link: l, Thread: thread, Post: post, Author: author})
+	}
+	return out
+}
+
+// OutcomeCounts renders ByOutcome in a stable order for reports.
+func (s Stats) OutcomeCounts() []string {
+	keys := make([]int, 0, len(s.ByOutcome))
+	for k := range s.ByOutcome {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s=%d", Outcome(k), s.ByOutcome[Outcome(k)]))
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+// Package domaincls reproduces the study's domain-classification step
+// (§4.5): the ~5.9k domains surfaced by reverse image search are
+// tagged by three commercial classifiers — McAfee's URL ticketing
+// system, VirusTotal's URL reputation service and Cisco OpenDNS domain
+// tagging — each with its own taxonomy, multi-tag output, coverage
+// gaps and mutual disagreement (all documented limitations the paper
+// discusses).
+//
+// Ground truth lives in a Directory (domain → site class) that the
+// synthetic-world generator populates; each simulated classifier maps
+// the truth into its own vocabulary with classifier-specific noise
+// derived deterministically from the domain name.
+package domaincls
+
+import (
+	"sort"
+)
+
+// SiteClass is the ground-truth type of a site in the synthetic web.
+type SiteClass int
+
+// Ground-truth site classes, covering the source categories the paper
+// finds images are taken from.
+const (
+	ClassUnknown SiteClass = iota
+	ClassPorn
+	ClassSocialNetwork
+	ClassBlog
+	ClassPhotoSharing
+	ClassForum
+	ClassShop
+	ClassNews
+	ClassDating
+	ClassGames
+	ClassBusiness
+	ClassEntertainment
+)
+
+// String names the class.
+func (c SiteClass) String() string {
+	switch c {
+	case ClassPorn:
+		return "porn"
+	case ClassSocialNetwork:
+		return "social network"
+	case ClassBlog:
+		return "blog"
+	case ClassPhotoSharing:
+		return "photo sharing"
+	case ClassForum:
+		return "forum"
+	case ClassShop:
+		return "shop"
+	case ClassNews:
+		return "news"
+	case ClassDating:
+		return "dating"
+	case ClassGames:
+		return "games"
+	case ClassBusiness:
+		return "business"
+	case ClassEntertainment:
+		return "entertainment"
+	default:
+		return "unknown"
+	}
+}
+
+// Directory is the ground-truth registry of the synthetic web.
+type Directory struct {
+	classes map[string]SiteClass
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{classes: make(map[string]SiteClass)}
+}
+
+// Set records the ground-truth class of a domain.
+func (d *Directory) Set(domain string, c SiteClass) { d.classes[domain] = c }
+
+// Class returns the ground-truth class of a domain.
+func (d *Directory) Class(domain string) SiteClass { return d.classes[domain] }
+
+// Len returns the number of registered domains.
+func (d *Directory) Len() int { return len(d.classes) }
+
+// NoResult is the tag emitted when a classifier has no verdict.
+const NoResult = "no_result"
+
+// Classifier simulates one commercial domain classifier.
+type Classifier struct {
+	// Name identifies the classifier ("McAfee", "VirusTotal",
+	// "OpenDNS").
+	Name string
+	// tags maps ground truth to the classifier's tag vocabulary; a
+	// domain receives a deterministic subset.
+	tags map[SiteClass][]string
+	// noResultRate is the fraction of domains with no verdict
+	// (OpenDNS famously leaves ~22% unclassified).
+	noResultRate float64
+	// multiTag: probability of emitting more than one tag per domain
+	// (VirusTotal aggregates several engines and often returns 2-3).
+	multiTag float64
+	dir      *Directory
+}
+
+// fnv hashes a string with an offset, giving each classifier an
+// independent deterministic noise stream per domain.
+func fnv(s, salt string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(salt); i++ {
+		h ^= uint64(salt[i])
+		h *= 1099511628211
+	}
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Classify returns the classifier's tags for a domain. Output is
+// deterministic per (classifier, domain).
+func (c *Classifier) Classify(domain string) []string {
+	h := fnv(domain, c.Name)
+	if float64(h%1000)/1000 < c.noResultRate {
+		return []string{NoResult}
+	}
+	truth := c.dir.Class(domain)
+	vocab := c.tags[truth]
+	if len(vocab) == 0 {
+		return []string{NoResult}
+	}
+	// Always emit the primary tag; sometimes more.
+	n := 1
+	if float64((h>>10)%1000)/1000 < c.multiTag {
+		n = 2
+		if len(vocab) > 2 && (h>>20)%3 == 0 {
+			n = 3
+		}
+	}
+	if n > len(vocab) {
+		n = len(vocab)
+	}
+	out := make([]string, 0, n)
+	start := int((h >> 30) % uint64(len(vocab)))
+	// The first vocabulary entry is the canonical tag for the truth;
+	// always include it, then rotate through alternates.
+	out = append(out, vocab[0])
+	for i := 1; len(out) < n; i++ {
+		tag := vocab[(start+i)%len(vocab)]
+		if tag != out[0] {
+			out = append(out, tag)
+		}
+		if i > len(vocab) {
+			break
+		}
+	}
+	return out
+}
+
+// NewMcAfee builds the McAfee-style classifier over the directory.
+func NewMcAfee(dir *Directory) *Classifier {
+	return &Classifier{
+		Name:         "McAfee",
+		dir:          dir,
+		noResultRate: 0.05,
+		multiTag:     0.25,
+		tags: map[SiteClass][]string{
+			ClassPorn:          {"Pornography", "Provocative Attire", "Nudity"},
+			ClassSocialNetwork: {"Social Networking", "Internet Services"},
+			ClassBlog:          {"Blogs/Wiki", "Entertainment"},
+			ClassPhotoSharing:  {"Media Sharing", "Internet Services"},
+			ClassForum:         {"Forum/Bulletin Boards", "Internet Services"},
+			ClassShop:          {"Online Shopping", "Marketing/Merchandising"},
+			ClassNews:          {"General News", "Portal Sites"},
+			ClassDating:        {"Dating/Personals"},
+			ClassGames:         {"Games", "Humor/Comics"},
+			ClassBusiness:      {"Business", "Marketing/Merchandising"},
+			ClassEntertainment: {"Entertainment", "Streaming Media"},
+			ClassUnknown:       {"Parked Domain", "Malicious Sites", "PUPs"},
+		},
+	}
+}
+
+// NewVirusTotal builds the VirusTotal-style classifier (aggregating
+// several engines, hence frequent multi-tags and near-synonym tags).
+func NewVirusTotal(dir *Directory) *Classifier {
+	return &Classifier{
+		Name:         "VirusTotal",
+		dir:          dir,
+		noResultRate: 0.06,
+		multiTag:     0.65,
+		tags: map[SiteClass][]string{
+			ClassPorn:          {"adult content", "porn", "sex"},
+			ClassSocialNetwork: {"social networking", "information technology"},
+			ClassBlog:          {"blogs", "entertainment"},
+			ClassPhotoSharing:  {"information technology", "computers and software"},
+			ClassForum:         {"message boards and forums", "information technology"},
+			ClassShop:          {"shopping", "onlineshop", "business and economy"},
+			ClassNews:          {"news", "news and media"},
+			ClassDating:        {"onlinedating", "sex"},
+			ClassGames:         {"games", "entertainment"},
+			ClassBusiness:      {"business", "business and economy", "marketing"},
+			ClassEntertainment: {"entertainment", "sports"},
+			ClassUnknown:       {"uncategorised", "parked"},
+		},
+	}
+}
+
+// NewOpenDNS builds the OpenDNS-style classifier (large no_result
+// fraction, porn split across several adult tags).
+func NewOpenDNS(dir *Directory) *Classifier {
+	return &Classifier{
+		Name:         "OpenDNS",
+		dir:          dir,
+		noResultRate: 0.22,
+		multiTag:     0.45,
+		tags: map[SiteClass][]string{
+			ClassPorn:          {"Pornography", "Nudity", "Adult Themes", "Lingerie/Bikini", "Sexuality"},
+			ClassSocialNetwork: {"Social Networking"},
+			ClassBlog:          {"Blogs"},
+			ClassPhotoSharing:  {"Photo Sharing"},
+			ClassForum:         {"Forums/Message boards"},
+			ClassShop:          {"Ecommerce/Shopping"},
+			ClassNews:          {"News/Media"},
+			ClassDating:        {"Dating", "Adult Themes"},
+			ClassGames:         {"Games"},
+			ClassBusiness:      {"Business Services"},
+			ClassEntertainment: {"Television", "Movies"},
+			ClassUnknown:       {"Parked Domains"},
+		},
+	}
+}
+
+// TagCount is one row of a Table 6 panel.
+type TagCount struct {
+	Tag string
+	// Domains is the number of domains carrying the tag.
+	Domains int
+	// CumPct is the running percentage of all tag assignments.
+	CumPct float64
+}
+
+// Tally classifies every domain and returns rows sorted by descending
+// count with cumulative percentages, cut off at cutoffPct (the paper
+// prints the top 85% of the distribution; pass 100 for everything).
+func Tally(c *Classifier, domains []string, cutoffPct float64) []TagCount {
+	counts := make(map[string]int)
+	total := 0
+	for _, d := range domains {
+		for _, tag := range c.Classify(d) {
+			counts[tag]++
+			total++
+		}
+	}
+	rows := make([]TagCount, 0, len(counts))
+	for tag, n := range counts {
+		rows = append(rows, TagCount{Tag: tag, Domains: n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Domains != rows[j].Domains {
+			return rows[i].Domains > rows[j].Domains
+		}
+		return rows[i].Tag < rows[j].Tag
+	})
+	cum := 0
+	var out []TagCount
+	for _, r := range rows {
+		cum += r.Domains
+		r.CumPct = 100 * float64(cum) / float64(total)
+		out = append(out, r)
+		if r.CumPct >= cutoffPct {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,351 @@
+// Package earnings implements §5 of the study: estimating eWhoring
+// income from proof-of-earnings images and analysing monetisation via
+// the Currency Exchange board.
+//
+// Proof images are screenshots of payment dashboards. The study's
+// authors annotated 2 067 of them manually; this reproduction renders
+// proofs in the dashboard formats the synthetic actors use and
+// annotates them by actually OCR-ing the pixels back out (the
+// "annotation" step is therefore a real image-to-structured-data
+// parser, not an oracle). Amounts in foreign currencies are converted
+// to USD at the historical monthly rate of the transaction date, as in
+// the paper.
+package earnings
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/forum"
+	"repro/internal/imagex"
+	"repro/internal/ocr"
+)
+
+// Platform is a payment platform observed in proofs.
+type Platform string
+
+// Platforms, in the order the paper discusses them (Amazon Gift Cards
+// and PayPal dominate; Bitcoin is rare).
+const (
+	PlatformPayPal  Platform = "PayPal"
+	PlatformAGC     Platform = "AGC"
+	PlatformBitcoin Platform = "BTC"
+	PlatformSkrill  Platform = "Skrill"
+	PlatformCash    Platform = "Cash"
+	PlatformUnknown Platform = "?"
+)
+
+// Currency is an ISO-ish currency code.
+type Currency string
+
+// Currencies seen in proofs.
+const (
+	USD Currency = "USD"
+	GBP Currency = "GBP"
+	EUR Currency = "EUR"
+	BTC Currency = "BTC"
+)
+
+// RateToUSD returns the (synthetic) historical exchange rate of one
+// unit of the currency in USD at time t. The tables are piecewise
+// monthly approximations of the 2008-2019 era: GBP drifting 1.65→1.25
+// with the 2016 drop, EUR 1.45→1.10, and Bitcoin's well-known arc from
+// cents through the December 2017 peak. Unknown currencies return 1.
+func RateToUSD(c Currency, t time.Time) float64 {
+	y := float64(t.Year()) + float64(t.YearDay())/365.0
+	switch c {
+	case USD:
+		return 1
+	case GBP:
+		switch {
+		case y < 2009:
+			return 1.85
+		case y < 2014:
+			return 1.55 + 0.05*math.Sin((y-2009)*2)
+		case y < 2016.5:
+			return 1.52
+		case y < 2017:
+			return 1.30 // post-referendum drop
+		default:
+			return 1.27
+		}
+	case EUR:
+		switch {
+		case y < 2010:
+			return 1.45
+		case y < 2015:
+			return 1.33
+		default:
+			return 1.12
+		}
+	case BTC:
+		switch {
+		case y < 2011:
+			return 0.3
+		case y < 2013:
+			return 8
+		case y < 2014:
+			return 300
+		case y < 2016:
+			return 400
+		case y < 2017:
+			return 700
+		case y < 2017.9:
+			return 4000
+		case y < 2018.1:
+			return 16000 // late-2017 peak
+		case y < 2019:
+			return 6500
+		default:
+			return 4000
+		}
+	default:
+		return 1
+	}
+}
+
+// Transaction is one incoming payment shown in a proof.
+type Transaction struct {
+	Amount   float64
+	Currency Currency
+	Date     time.Time
+}
+
+// USD converts the transaction at its own date's rate.
+func (tx Transaction) USD() float64 {
+	return tx.Amount * RateToUSD(tx.Currency, tx.Date)
+}
+
+// Proof is the structured annotation of one proof-of-earnings image.
+type Proof struct {
+	Post     forum.PostID
+	Actor    forum.ActorID
+	Platform Platform
+	Currency Currency
+	// Total is the overall amount shown, in Currency.
+	Total float64
+	// Date is when the proof was posted.
+	Date time.Time
+	// Transactions carries per-payment detail when the dashboard shows
+	// it (the paper: ~60% of proofs are detailed).
+	Transactions []Transaction
+}
+
+// Detailed reports whether per-transaction breakdown is available.
+func (p Proof) Detailed() bool { return len(p.Transactions) > 0 }
+
+// TotalUSD converts the proof total to USD. Detailed proofs convert
+// per transaction at each transaction's date; summary proofs convert
+// the total at the proof date.
+func (p Proof) TotalUSD() float64 {
+	if len(p.Transactions) == 0 {
+		return p.Total * RateToUSD(p.Currency, p.Date)
+	}
+	sum := 0.0
+	for _, tx := range p.Transactions {
+		sum += tx.USD()
+	}
+	return sum
+}
+
+// --- Rendering (what the synthetic actors post) -----------------------
+
+// platformHeader maps a platform to its dashboard banner line.
+func platformHeader(p Platform) string {
+	switch p {
+	case PlatformPayPal:
+		return "PAYPAL DASHBOARD"
+	case PlatformAGC:
+		return "AMAZON GIFT CARDS"
+	case PlatformBitcoin:
+		return "BITCOIN WALLET"
+	case PlatformSkrill:
+		return "SKRILL ACCOUNT"
+	case PlatformCash:
+		return "CASH COUNT"
+	default:
+		return "PAYMENTS"
+	}
+}
+
+// RenderProofLines produces the canonical dashboard text of a proof.
+// Layout:
+//
+//	PAYPAL DASHBOARD
+//	TOTAL: 774.00 USD
+//	TX: 41.90 ON 03/14/2016
+//	...
+func RenderProofLines(p Proof) []string {
+	lines := []string{
+		platformHeader(p.Platform),
+		fmt.Sprintf("TOTAL: %.2f %s", p.Total, p.Currency),
+	}
+	for _, tx := range p.Transactions {
+		lines = append(lines, fmt.Sprintf("TX: %.2f ON %02d/%02d/%04d",
+			tx.Amount, int(tx.Date.Month()), tx.Date.Day(), tx.Date.Year()))
+	}
+	return lines
+}
+
+// RenderProofImage draws the proof as a screenshot image sized to fit
+// its lines.
+func RenderProofImage(seed uint64, p Proof) *imagex.Image {
+	lines := RenderProofLines(p)
+	w := 0
+	for _, l := range lines {
+		if lw := imagex.TextWidth(l, 1) + 6; lw > w {
+			w = lw
+		}
+	}
+	if w < 120 {
+		w = 120
+	}
+	h := imagex.LineHeight(1)*len(lines) + 6
+	if h < 24 {
+		h = 24
+	}
+	return imagex.GenScreenshot(seed, lines, w, h)
+}
+
+// --- Annotation (parsing proofs back out of pixels) --------------------
+
+// ErrNotProof reports that an image is not a parseable
+// proof-of-earnings screenshot (e.g. a chat screenshot or banner).
+var ErrNotProof = errors.New("earnings: image is not a proof of earnings")
+
+// AnnotateImage OCRs a screenshot and parses the dashboard text into a
+// Proof. postDate provides the proof date (the forum post's
+// timestamp). It returns ErrNotProof for non-proof images.
+func AnnotateImage(im *imagex.Image, postDate time.Time) (Proof, error) {
+	res := ocr.Recognize(im)
+	return ParseProofText(res.Text, postDate)
+}
+
+// ParseProofText parses the OCR'd dashboard text of a proof image.
+func ParseProofText(text string, postDate time.Time) (Proof, error) {
+	p := Proof{Date: postDate, Currency: USD, Platform: PlatformUnknown}
+	lines := strings.Split(text, "\n")
+	if len(lines) == 0 {
+		return Proof{}, ErrNotProof
+	}
+	switch {
+	case strings.Contains(text, "PAYPAL"):
+		p.Platform = PlatformPayPal
+	case strings.Contains(text, "AMAZON"):
+		p.Platform = PlatformAGC
+	case strings.Contains(text, "BITCOIN"):
+		p.Platform = PlatformBitcoin
+	case strings.Contains(text, "SKRILL"):
+		p.Platform = PlatformSkrill
+	case strings.Contains(text, "CASH"):
+		p.Platform = PlatformCash
+	}
+	foundTotal := false
+	for _, line := range lines {
+		words := strings.Fields(line)
+		switch {
+		case strings.HasPrefix(line, "TOTAL:") && len(words) >= 3:
+			amt, err := strconv.ParseFloat(words[1], 64)
+			if err != nil {
+				continue
+			}
+			cur := Currency(words[2])
+			switch cur {
+			case USD, GBP, EUR, BTC:
+				p.Currency = cur
+			default:
+				continue
+			}
+			p.Total = amt
+			foundTotal = true
+		case strings.HasPrefix(line, "TX:") && len(words) >= 4 && words[2] == "ON":
+			amt, err1 := strconv.ParseFloat(words[1], 64)
+			date, err2 := time.Parse("01/02/2006", words[3])
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			p.Transactions = append(p.Transactions, Transaction{
+				Amount: amt, Currency: p.Currency, Date: date.UTC(),
+			})
+		}
+	}
+	if p.Platform == PlatformUnknown || !foundTotal {
+		return Proof{}, ErrNotProof
+	}
+	// Transactions inherit the (possibly later-parsed) currency.
+	for i := range p.Transactions {
+		p.Transactions[i].Currency = p.Currency
+	}
+	return p, nil
+}
+
+// --- Aggregation (Figure 2, Figure 3, §5.2 headline numbers) -----------
+
+// ActorEarnings aggregates proofs per actor.
+type ActorEarnings struct {
+	Actor    forum.ActorID
+	Proofs   int
+	TotalUSD float64
+}
+
+// AggregateByActor groups proofs by actor and sums USD totals.
+func AggregateByActor(proofs []Proof) []ActorEarnings {
+	idx := make(map[forum.ActorID]int)
+	var out []ActorEarnings
+	for _, p := range proofs {
+		i, ok := idx[p.Actor]
+		if !ok {
+			i = len(out)
+			idx[p.Actor] = i
+			out = append(out, ActorEarnings{Actor: p.Actor})
+		}
+		out[i].Proofs++
+		out[i].TotalUSD += p.TotalUSD()
+	}
+	return out
+}
+
+// Summary carries the headline §5.2 numbers.
+type Summary struct {
+	Proofs          int
+	Actors          int
+	TotalUSD        float64
+	MeanPerActorUSD float64
+	Detailed        int
+	// MeanTransactionUSD averages over every transaction in detailed
+	// proofs (the paper reports US$41.90).
+	MeanTransactionUSD float64
+	ByPlatform         map[Platform]int
+}
+
+// Summarize computes the headline statistics over a proof corpus.
+func Summarize(proofs []Proof) Summary {
+	s := Summary{Proofs: len(proofs), ByPlatform: make(map[Platform]int)}
+	perActor := AggregateByActor(proofs)
+	s.Actors = len(perActor)
+	for _, a := range perActor {
+		s.TotalUSD += a.TotalUSD
+	}
+	if s.Actors > 0 {
+		s.MeanPerActorUSD = s.TotalUSD / float64(s.Actors)
+	}
+	txSum, txN := 0.0, 0
+	for _, p := range proofs {
+		s.ByPlatform[p.Platform]++
+		if p.Detailed() {
+			s.Detailed++
+			for _, tx := range p.Transactions {
+				txSum += tx.USD()
+				txN++
+			}
+		}
+	}
+	if txN > 0 {
+		s.MeanTransactionUSD = txSum / float64(txN)
+	}
+	return s
+}

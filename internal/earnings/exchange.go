@@ -1,0 +1,98 @@
+package earnings
+
+import (
+	"strings"
+)
+
+// Currency Exchange board analysis (§5.1/§5.2, Table 7). Threads in
+// Hackforums' Currency Exchange board "use a de-facto standard format
+// where the currency offered follows the tag [H] and the currency
+// wanted follows the tag [W]".
+
+// ExchangeKind buckets the currencies of Table 7.
+type ExchangeKind string
+
+// Exchange currency buckets.
+const (
+	ExPayPal  ExchangeKind = "PayPal"
+	ExBTC     ExchangeKind = "BTC"
+	ExAGC     ExchangeKind = "AGC"
+	ExOther   ExchangeKind = "others"
+	ExUnknown ExchangeKind = "?"
+)
+
+// ExchangeOffer is a parsed Currency Exchange thread heading.
+type ExchangeOffer struct {
+	Have ExchangeKind
+	Want ExchangeKind
+}
+
+// classifyCurrencyToken maps free-form currency text to a bucket.
+func classifyCurrencyToken(tok string) ExchangeKind {
+	t := strings.ToLower(strings.TrimSpace(tok))
+	switch {
+	case t == "":
+		return ExUnknown
+	case strings.Contains(t, "paypal") || strings.Contains(t, "pp"):
+		return ExPayPal
+	case strings.Contains(t, "btc") || strings.Contains(t, "bitcoin"):
+		return ExBTC
+	case strings.Contains(t, "agc") || strings.Contains(t, "amazon"):
+		return ExAGC
+	case strings.Contains(t, "?"):
+		return ExUnknown
+	default:
+		return ExOther
+	}
+}
+
+// ParseExchangeHeading parses a "[H] X [W] Y" heading. ok is false
+// when the heading does not follow the convention at all.
+func ParseExchangeHeading(heading string) (ExchangeOffer, bool) {
+	lower := strings.ToLower(heading)
+	hIdx := strings.Index(lower, "[h]")
+	wIdx := strings.Index(lower, "[w]")
+	if hIdx < 0 && wIdx < 0 {
+		return ExchangeOffer{Have: ExUnknown, Want: ExUnknown}, false
+	}
+	offer := ExchangeOffer{Have: ExUnknown, Want: ExUnknown}
+	if hIdx >= 0 {
+		end := len(heading)
+		if wIdx > hIdx {
+			end = wIdx
+		}
+		offer.Have = classifyCurrencyToken(heading[hIdx+3 : end])
+	}
+	if wIdx >= 0 {
+		end := len(heading)
+		if hIdx > wIdx {
+			end = hIdx
+		}
+		offer.Want = classifyCurrencyToken(heading[wIdx+3 : end])
+	}
+	return offer, true
+}
+
+// ExchangeTable is Table 7: counts of currencies offered and wanted.
+type ExchangeTable struct {
+	Offered map[ExchangeKind]int
+	Wanted  map[ExchangeKind]int
+	Total   int
+}
+
+// TallyExchange parses a batch of Currency Exchange headings.
+// Unparseable headings count as unknown on both sides, as the paper's
+// '?' column absorbs unclassified threads.
+func TallyExchange(headings []string) ExchangeTable {
+	t := ExchangeTable{
+		Offered: make(map[ExchangeKind]int),
+		Wanted:  make(map[ExchangeKind]int),
+	}
+	for _, h := range headings {
+		offer, _ := ParseExchangeHeading(h)
+		t.Offered[offer.Have]++
+		t.Wanted[offer.Want]++
+		t.Total++
+	}
+	return t
+}

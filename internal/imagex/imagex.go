@@ -1,0 +1,508 @@
+// Package imagex is the raster-image substrate of the study. The paper
+// downloads ~117k real images; for ethical and data-availability
+// reasons this reproduction cannot, so imagex synthesises images that
+// carry the same measurable signals end-to-end:
+//
+//   - "model" photos have configurable skin-pixel fractions, so the
+//     NSFW scorer (internal/nsfw) measures something real;
+//   - "screenshot" images carry glyph-rendered text, so the OCR engine
+//     (internal/ocr) genuinely recognises characters;
+//   - every image has a perceptual difference-hash, so duplicate
+//     detection, the PhotoDNA hashlist and the reverse image search
+//     operate on pixel-derived fingerprints with realistic robustness
+//     (recompression survives; mirroring evades — as the paper notes
+//     actors exploit).
+//
+// Images are 8-bit grayscale rasters serialised in a tiny container
+// format (SIMG) and bundled into real zip archives for "packs".
+package imagex
+
+import (
+	"archive/zip"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"repro/internal/randx"
+)
+
+// Skin-band constants: pixels whose value falls inside the band count
+// as "skin" for the NSFW scorer. Scene generators place body pixels in
+// the band and backgrounds outside it (except for deliberately
+// ambiguous scenes such as sand or wood textures).
+const (
+	SkinLo = 140
+	SkinHi = 180
+)
+
+// Ink is the pixel value text glyphs are drawn with.
+const Ink = 20
+
+// Image is an 8-bit grayscale raster.
+type Image struct {
+	W, H int
+	Pix  []byte // row-major, len == W*H
+}
+
+// New returns an image of the given size filled with the base value.
+func New(w, h int, base byte) *Image {
+	if w <= 0 || h <= 0 {
+		panic("imagex: non-positive dimensions")
+	}
+	pix := make([]byte, w*h)
+	for i := range pix {
+		pix[i] = base
+	}
+	return &Image{W: w, H: h, Pix: pix}
+}
+
+// At returns the pixel at (x, y); out-of-bounds reads return 0.
+func (im *Image) At(x, y int) byte {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return 0
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are ignored.
+func (im *Image) Set(x, y int, v byte) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	im.Pix[y*im.W+x] = v
+}
+
+// Clone returns a deep copy.
+func (im *Image) Clone() *Image {
+	pix := make([]byte, len(im.Pix))
+	copy(pix, im.Pix)
+	return &Image{W: im.W, H: im.H, Pix: pix}
+}
+
+// SkinFraction returns the fraction of pixels inside the skin band.
+func (im *Image) SkinFraction() float64 {
+	if len(im.Pix) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range im.Pix {
+		if p >= SkinLo && p <= SkinHi {
+			n++
+		}
+	}
+	return float64(n) / float64(len(im.Pix))
+}
+
+// SkinCoherence measures how contiguous the skin pixels are: the mean
+// horizontal run length of skin pixels, normalised by image width.
+// Bodies are contiguous (high coherence); scattered skin-valued noise
+// is not. The NSFW scorer combines fraction and coherence.
+func (im *Image) SkinCoherence() float64 {
+	if im.W == 0 || im.H == 0 {
+		return 0
+	}
+	totalRun, runs := 0, 0
+	for y := 0; y < im.H; y++ {
+		run := 0
+		for x := 0; x < im.W; x++ {
+			p := im.At(x, y)
+			if p >= SkinLo && p <= SkinHi {
+				run++
+			} else if run > 0 {
+				totalRun += run
+				runs++
+				run = 0
+			}
+		}
+		if run > 0 {
+			totalRun += run
+			runs++
+		}
+	}
+	if runs == 0 {
+		return 0
+	}
+	return float64(totalRun) / float64(runs) / float64(im.W)
+}
+
+// FillRect fills the rectangle [x0,x1)x[y0,y1) with value v plus
+// per-pixel noise of amplitude amp (kept within [lo, hi] if the base
+// value lies in that range band).
+func (im *Image) FillRect(rng *randx.Rand, x0, y0, x1, y1 int, v byte, amp int) {
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			p := int(v)
+			if amp > 0 {
+				p += rng.Intn(2*amp+1) - amp
+			}
+			if p < 0 {
+				p = 0
+			}
+			if p > 255 {
+				p = 255
+			}
+			im.Set(x, y, byte(p))
+		}
+	}
+}
+
+// FillEllipse fills the axis-aligned ellipse centred at (cx, cy) with
+// radii (rx, ry), value v and noise amplitude amp.
+func (im *Image) FillEllipse(rng *randx.Rand, cx, cy, rx, ry int, v byte, amp int) {
+	if rx <= 0 || ry <= 0 {
+		return
+	}
+	for y := cy - ry; y <= cy+ry; y++ {
+		for x := cx - rx; x <= cx+rx; x++ {
+			dx := float64(x-cx) / float64(rx)
+			dy := float64(y-cy) / float64(ry)
+			if dx*dx+dy*dy <= 1 {
+				p := int(v)
+				if amp > 0 {
+					p += rng.Intn(2*amp+1) - amp
+				}
+				if p < 0 {
+					p = 0
+				}
+				if p > 255 {
+					p = 255
+				}
+				im.Set(x, y, byte(p))
+			}
+		}
+	}
+}
+
+// DrawText renders text starting at (x, y) with the given integer
+// scale using the package font. Characters outside the font (and
+// spaces) advance the cursor without drawing. It returns the x
+// coordinate after the last glyph.
+func (im *Image) DrawText(x, y, scale int, text string) int {
+	if scale < 1 {
+		scale = 1
+	}
+	adv := (GlyphW + 1) * scale
+	for _, r := range text {
+		if g, ok := Glyph(r); ok {
+			for gy := 0; gy < GlyphH; gy++ {
+				row := g[gy]
+				for gx := 0; gx < GlyphW; gx++ {
+					if row[gx] != '#' {
+						continue
+					}
+					for sy := 0; sy < scale; sy++ {
+						for sx := 0; sx < scale; sx++ {
+							im.Set(x+gx*scale+sx, y+gy*scale+sy, Ink)
+						}
+					}
+				}
+			}
+		}
+		x += adv
+	}
+	return x
+}
+
+// TextWidth returns the pixel width of text at the given scale.
+func TextWidth(text string, scale int) int {
+	if scale < 1 {
+		scale = 1
+	}
+	n := len([]rune(text))
+	return n * (GlyphW + 1) * scale
+}
+
+// LineHeight returns the pixel height of a text line at a scale,
+// including one blank row of spacing.
+func LineHeight(scale int) int {
+	if scale < 1 {
+		scale = 1
+	}
+	return (GlyphH + 1) * scale
+}
+
+// Mirror returns a horizontally flipped copy. Actors mirror images to
+// evade reverse image search; the difference hash is not mirror-
+// invariant, so this transform defeats matching, as in the paper.
+func (im *Image) Mirror() *Image {
+	out := New(im.W, im.H, 0)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			out.Set(im.W-1-x, y, im.At(x, y))
+		}
+	}
+	return out
+}
+
+// Recompress simulates lossy re-encoding by quantising pixel values to
+// the given number of levels (2..256). Quantisation perturbs pixels
+// slightly, which perceptual hashes must (and do) survive.
+func (im *Image) Recompress(levels int) *Image {
+	if levels < 2 {
+		levels = 2
+	}
+	if levels > 256 {
+		levels = 256
+	}
+	q := 256 / levels
+	if q < 1 {
+		q = 1
+	}
+	out := im.Clone()
+	for i, p := range out.Pix {
+		v := (int(p)/q)*q + q/2
+		if v > 255 {
+			v = 255
+		}
+		out.Pix[i] = byte(v)
+	}
+	return out
+}
+
+// Watermark returns a copy with a text watermark drawn near the bottom
+// left — the preview-modification habit the paper observes ("actors
+// purposely modify these images to bypass reverse image searches").
+func (im *Image) Watermark(text string) *Image {
+	out := im.Clone()
+	y := im.H - LineHeight(1) - 1
+	if y < 0 {
+		y = 0
+	}
+	out.DrawText(2, y, 1, text)
+	return out
+}
+
+// Shade returns a copy with the bottom strip (frac of the height)
+// darkened — another common preview modification.
+func (im *Image) Shade(frac float64) *Image {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	out := im.Clone()
+	y0 := int(float64(im.H) * (1 - frac))
+	for y := y0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			v := out.At(x, y)
+			out.Set(x, y, v/3)
+		}
+	}
+	return out
+}
+
+// Resize box-samples the image to the given dimensions.
+func (im *Image) Resize(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic("imagex: non-positive resize dimensions")
+	}
+	out := New(w, h, 0)
+	for y := 0; y < h; y++ {
+		sy0 := y * im.H / h
+		sy1 := (y + 1) * im.H / h
+		if sy1 <= sy0 {
+			sy1 = sy0 + 1
+		}
+		for x := 0; x < w; x++ {
+			sx0 := x * im.W / w
+			sx1 := (x + 1) * im.W / w
+			if sx1 <= sx0 {
+				sx1 = sx0 + 1
+			}
+			sum, n := 0, 0
+			for sy := sy0; sy < sy1 && sy < im.H; sy++ {
+				for sx := sx0; sx < sx1 && sx < im.W; sx++ {
+					sum += int(im.At(sx, sy))
+					n++
+				}
+			}
+			if n > 0 {
+				out.Set(x, y, byte(sum/n))
+			}
+		}
+	}
+	return out
+}
+
+// Hash is a 64-bit perceptual hash.
+type Hash uint64
+
+// DHash computes the difference hash: the image is box-sampled to 9x8
+// and each bit records whether a pixel is brighter than its right
+// neighbour. Small photometric changes flip few bits; mirroring flips
+// roughly half.
+func DHash(im *Image) Hash {
+	small := im.Resize(9, 8)
+	var h Hash
+	bit := 0
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if small.At(x, y) > small.At(x+1, y) {
+				h |= 1 << uint(bit)
+			}
+			bit++
+		}
+	}
+	return h
+}
+
+// AHash computes the average hash: 8x8 downsample, each bit records
+// whether the pixel exceeds the mean. PhotoDNA-style robust matching
+// uses AHash with a Hamming radius.
+func AHash(im *Image) Hash {
+	small := im.Resize(8, 8)
+	sum := 0
+	for _, p := range small.Pix {
+		sum += int(p)
+	}
+	mean := byte(sum / 64)
+	var h Hash
+	for i, p := range small.Pix {
+		if p > mean {
+			h |= 1 << uint(i)
+		}
+	}
+	return h
+}
+
+// Distance returns the Hamming distance between two hashes.
+func (h Hash) Distance(other Hash) int {
+	return bits.OnesCount64(uint64(h ^ other))
+}
+
+// String formats the hash as 16 hex digits.
+func (h Hash) String() string { return fmt.Sprintf("%016x", uint64(h)) }
+
+// Hash128 is a composite perceptual hash: the average hash (global
+// luminance layout) concatenated with the difference hash (local
+// gradients). The two components fail differently, so their summed
+// Hamming distance separates "same image, re-encoded" (a few bits)
+// from "different image of the same kind" (tens of bits) far more
+// reliably than either alone. Both the PhotoDNA stand-in and the
+// reverse image search match on Hash128.
+type Hash128 struct {
+	A Hash
+	D Hash
+}
+
+// Hash128Of computes the composite hash of an image.
+func Hash128Of(im *Image) Hash128 {
+	return Hash128{A: AHash(im), D: DHash(im)}
+}
+
+// Distance returns the summed Hamming distance (0..128).
+func (h Hash128) Distance(other Hash128) int {
+	return h.A.Distance(other.A) + h.D.Distance(other.D)
+}
+
+// String formats the hash as 32 hex digits.
+func (h Hash128) String() string { return h.A.String() + h.D.String() }
+
+// --- SIMG container -------------------------------------------------
+
+// simgMagic identifies the SIMG container format.
+var simgMagic = []byte("SIMG")
+
+const simgVersion = 1
+
+// ErrBadFormat reports a malformed SIMG payload.
+var ErrBadFormat = errors.New("imagex: malformed SIMG data")
+
+// Encode serialises the image into the SIMG container.
+func (im *Image) Encode() []byte {
+	buf := make([]byte, 0, 4+1+4+len(im.Pix))
+	buf = append(buf, simgMagic...)
+	buf = append(buf, simgVersion)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(im.W))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(im.H))
+	buf = append(buf, im.Pix...)
+	return buf
+}
+
+// Decode parses a SIMG payload.
+func Decode(data []byte) (*Image, error) {
+	if len(data) < 9 || !bytes.Equal(data[:4], simgMagic) {
+		return nil, ErrBadFormat
+	}
+	if data[4] != simgVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, data[4])
+	}
+	w := int(binary.BigEndian.Uint16(data[5:7]))
+	h := int(binary.BigEndian.Uint16(data[7:9]))
+	if w == 0 || h == 0 {
+		return nil, fmt.Errorf("%w: zero dimension", ErrBadFormat)
+	}
+	if len(data)-9 != w*h {
+		return nil, fmt.Errorf("%w: pixel payload %d != %dx%d", ErrBadFormat, len(data)-9, w, h)
+	}
+	pix := make([]byte, w*h)
+	copy(pix, data[9:])
+	return &Image{W: w, H: h, Pix: pix}, nil
+}
+
+// --- Pack archives ---------------------------------------------------
+
+// EncodePackZip bundles images into a zip archive with entries
+// 0001.simg, 0002.simg, ... — the shape of the packs actors upload to
+// cloud storage.
+func EncodePackZip(images []*Image) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	for i, im := range images {
+		w, err := zw.Create(fmt.Sprintf("%04d.simg", i+1))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(im.Encode()); err != nil {
+			return nil, err
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePackZip extracts every .simg entry from a zip archive, in
+// entry-name order. Non-SIMG entries are skipped; a corrupt SIMG entry
+// is an error.
+func DecodePackZip(data []byte) ([]*Image, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, fmt.Errorf("imagex: not a zip archive: %w", err)
+	}
+	names := make([]string, 0, len(zr.File))
+	byName := make(map[string]*zip.File, len(zr.File))
+	for _, f := range zr.File {
+		if !strings.HasSuffix(f.Name, ".simg") {
+			continue
+		}
+		names = append(names, f.Name)
+		byName[f.Name] = f
+	}
+	sort.Strings(names)
+	images := make([]*Image, 0, len(names))
+	for _, name := range names {
+		rc, err := byName[name].Open()
+		if err != nil {
+			return nil, err
+		}
+		payload, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			return nil, err
+		}
+		im, err := Decode(payload)
+		if err != nil {
+			return nil, fmt.Errorf("imagex: entry %s: %w", name, err)
+		}
+		images = append(images, im)
+	}
+	return images, nil
+}

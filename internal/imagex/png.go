@@ -1,0 +1,37 @@
+package imagex
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+)
+
+// PNG interop: SIMG rasters can be exported as grayscale PNGs (for
+// human inspection of non-sensitive images such as proof screenshots
+// and error banners) and PNGs can be imported for hashing.
+
+// WritePNG encodes the image as an 8-bit grayscale PNG.
+func (im *Image) WritePNG(w io.Writer) error {
+	g := image.NewGray(image.Rect(0, 0, im.W, im.H))
+	copy(g.Pix, im.Pix)
+	return png.Encode(w, g)
+}
+
+// ReadPNG decodes a PNG (any colour model) into a grayscale Image
+// using the standard luma weights.
+func ReadPNG(r io.Reader) (*Image, error) {
+	src, err := png.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	b := src.Bounds()
+	out := New(b.Dx(), b.Dy(), 0)
+	for y := 0; y < b.Dy(); y++ {
+		for x := 0; x < b.Dx(); x++ {
+			c := color.GrayModel.Convert(src.At(b.Min.X+x, b.Min.Y+y)).(color.Gray)
+			out.Set(x, y, c.Y)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,48 @@
+package imagex
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPNGRoundtrip(t *testing.T) {
+	im := GenScreenshot(3, []string{"PAYPAL BALANCE", "$120.50"}, 120, 30)
+	var buf bytes.Buffer
+	if err := im.WritePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPNG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != im.W || back.H != im.H {
+		t.Fatalf("shape changed: %dx%d -> %dx%d", im.W, im.H, back.W, back.H)
+	}
+	if !bytes.Equal(back.Pix, im.Pix) {
+		t.Fatal("grayscale PNG roundtrip not lossless")
+	}
+}
+
+func TestPNGHashStable(t *testing.T) {
+	// Hashing a PNG-roundtripped image must be identical — PNG is
+	// lossless, so the perceptual pipeline is transport-agnostic.
+	im := GenModel(9, 0, PoseDressed, 48)
+	var buf bytes.Buffer
+	if err := im.WritePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPNG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Hash128Of(im) != Hash128Of(back) {
+		t.Fatal("hash changed through PNG")
+	}
+}
+
+func TestReadPNGRejectsGarbage(t *testing.T) {
+	if _, err := ReadPNG(strings.NewReader("not a png")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

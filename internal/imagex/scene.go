@@ -1,0 +1,228 @@
+package imagex
+
+import (
+	"repro/internal/randx"
+)
+
+// Scene generators. Every generator is deterministic in its seed, so
+// the same (model, pose) always yields the same pixels — which is what
+// makes duplicate detection and reverse-image-search meaningful: a
+// pack image copied from an origin site is byte-identical unless the
+// actor transformed it.
+
+// Pose describes how much skin a model image shows. The paper's packs
+// "contain images from the same (or visually similar) model at the
+// various steps of a 'fake' encounter, including dressed, nude and
+// sexual images".
+type Pose int
+
+// Pose values, in ascending explicitness.
+const (
+	PoseDressed Pose = iota
+	PosePartial
+	PoseNude
+)
+
+// String names the pose.
+func (p Pose) String() string {
+	switch p {
+	case PoseDressed:
+		return "dressed"
+	case PosePartial:
+		return "partial"
+	case PoseNude:
+		return "nude"
+	default:
+		return "unknown"
+	}
+}
+
+// GenModel renders a synthetic "model photo". modelSeed fixes the
+// model's appearance (background, build, framing); variant perturbs
+// the pose within the same shoot. Deterministic in (modelSeed,
+// variant, pose, size).
+func GenModel(modelSeed uint64, variant int, pose Pose, size int) *Image {
+	rng := randx.New(modelSeed ^ uint64(variant)*0x9e3779b97f4a7c15 ^ uint64(pose)<<56)
+	im := New(size, size, 0)
+
+	// Background: a texture clearly outside the skin band. Half the
+	// shoots use a bright studio backdrop, half a dark room.
+	var bg byte
+	if rng.Bool(0.5) {
+		bg = byte(200 + rng.Intn(40))
+	} else {
+		bg = byte(60 + rng.Intn(50))
+	}
+	im.FillRect(rng, 0, 0, size, size, bg, 8)
+
+	// Body: an ellipse of skin-band pixels. The pose controls how much
+	// of the frame the body fills and how much clothing covers it.
+	cx := size/2 + rng.Intn(size/6) - size/12
+	cy := size/2 + rng.Intn(size/6) - size/12
+	var bodyScale float64
+	switch pose {
+	case PoseNude:
+		bodyScale = 0.36 + 0.10*rng.Float64()
+	case PosePartial:
+		bodyScale = 0.28 + 0.08*rng.Float64()
+	default:
+		bodyScale = 0.24 + 0.08*rng.Float64()
+	}
+	rx := int(bodyScale * float64(size))
+	ry := int((bodyScale + 0.08) * float64(size))
+	skin := byte(SkinLo + 10 + rng.Intn(SkinHi-SkinLo-20))
+	im.FillEllipse(rng, cx, cy, rx, ry, skin, 9)
+
+	// Head above the body, also skin.
+	headR := rx / 2
+	if headR < 2 {
+		headR = 2
+	}
+	im.FillEllipse(rng, cx, cy-ry-headR/2, headR, headR, skin, 8)
+
+	// Clothing covers part of the torso for non-nude poses with a
+	// non-skin value, shrinking the measured skin fraction.
+	if pose != PoseNude {
+		cover := 0.8
+		if pose == PosePartial {
+			cover = 0.45
+		}
+		top := cy - int(float64(ry)*(cover-0.5))
+		cloth := byte(80 + rng.Intn(40))
+		im.FillRect(rng, cx-rx, top, cx+rx+1, cy+ry+1, cloth, 10)
+	}
+	return im
+}
+
+// GenCasualPerson renders an everyday photo of a person at a distance:
+// fully clothed, small in the frame, most pixels background. Such
+// images carry a little skin but must score far below the NSFV
+// classifier's 0.01 SFV threshold, as everyday photos do under
+// OpenNSFW.
+func GenCasualPerson(seed uint64, size int) *Image {
+	rng := randx.New(seed)
+	im := New(size, size, 0)
+	var bg byte
+	if rng.Bool(0.5) {
+		bg = byte(195 + rng.Intn(45))
+	} else {
+		bg = byte(50 + rng.Intn(60))
+	}
+	im.FillRect(rng, 0, 0, size, size, bg, 10)
+	scale := 0.08 + 0.04*rng.Float64()
+	rx := int(scale * float64(size))
+	if rx < 2 {
+		rx = 2
+	}
+	ry := rx + rx/2 + 1
+	cx := size/4 + rng.Intn(size/2)
+	cy := size/2 + rng.Intn(size/4)
+	// Clothed body (non-skin), with only the head in the skin band.
+	cloth := byte(80 + rng.Intn(40))
+	im.FillEllipse(rng, cx, cy, rx, ry, cloth, 8)
+	skin := byte(SkinLo + 12 + rng.Intn(SkinHi-SkinLo-24))
+	headR := rx / 2
+	if headR < 1 {
+		headR = 1
+	}
+	im.FillEllipse(rng, cx, cy-ry-headR, headR, headR, skin, 6)
+	return im
+}
+
+// GenScreenshot renders a text screenshot (payment dashboard, chat
+// log, directory listing): a bright background with glyph-rendered
+// lines. Lines that do not fit are clipped.
+func GenScreenshot(seed uint64, lines []string, w, h int) *Image {
+	rng := randx.New(seed)
+	im := New(w, h, 0)
+	im.FillRect(rng, 0, 0, w, h, byte(228+rng.Intn(20)), 4)
+	y := 2
+	for _, line := range lines {
+		if y+GlyphH >= h {
+			break
+		}
+		im.DrawText(2, y, 1, line)
+		y += LineHeight(1)
+	}
+	return im
+}
+
+// GenLandscape renders a non-model, non-text image (scenery, game
+// screenshot). If skinLike is true, one horizontal band uses
+// skin-band values — the sand/wood texture case that produces the
+// NSFV classifier's false positives ("not containing nudity ...
+// containing colours or textures resembling the human body").
+func GenLandscape(seed uint64, size int, skinLike bool) *Image {
+	rng := randx.New(seed)
+	im := New(size, size, 0)
+	bands := 3 + rng.Intn(3)
+	y := 0
+	for b := 0; b < bands; b++ {
+		bh := size / bands
+		if b == bands-1 {
+			bh = size - y
+		}
+		var v byte
+		if skinLike && b == bands-1 {
+			v = byte(SkinLo + 5 + rng.Intn(SkinHi-SkinLo-10))
+		} else {
+			// Outside the skin band: sky/water (bright) or foliage (dark).
+			if rng.Bool(0.5) {
+				v = byte(190 + rng.Intn(60))
+			} else {
+				v = byte(40 + rng.Intn(80))
+			}
+		}
+		im.FillRect(rng, 0, y, size, y+bh, v, 12)
+		y += bh
+	}
+	return im
+}
+
+// GenErrorBanner renders a hosting-site error/takedown image ("This
+// image violates our Terms of Use..."), which the crawler does
+// download and the NSFV classifier must route to SFV.
+func GenErrorBanner(seed uint64, message string, w, h int) *Image {
+	rng := randx.New(seed)
+	im := New(w, h, 0)
+	im.FillRect(rng, 0, 0, w, h, 245, 2)
+	im.FillRect(rng, 0, 0, w, LineHeight(1)+4, 120, 4)
+	im.DrawText(2, h/2-GlyphH/2, 1, message)
+	return im
+}
+
+// GenThumbnailGrid renders a "screenshot showing the directories of
+// the packs, including image thumbnails": small model thumbnails over
+// a file-listing background with text labels. These mix skin pixels
+// and text, exercising the middle branches of Algorithm 1.
+func GenThumbnailGrid(seed uint64, modelSeed uint64, w, h int) *Image {
+	rng := randx.New(seed)
+	im := New(w, h, 0)
+	im.FillRect(rng, 0, 0, w, h, 240, 3)
+	thumb := GenModel(modelSeed, 0, PoseDressed, 16)
+	cols := w / 24
+	if cols < 1 {
+		cols = 1
+	}
+	for i := 0; i < cols; i++ {
+		x0 := 2 + i*24
+		for ty := 0; ty < thumb.H; ty++ {
+			for tx := 0; tx < thumb.W; tx++ {
+				im.Set(x0+tx, 2+ty, thumb.At(tx, ty))
+			}
+		}
+		im.DrawText(x0, 20, 1, "IMG")
+	}
+	// File listing below the thumbnails: a directory screenshot is
+	// text-rich, so OCR routes it to Safe-For-Viewing, as the paper's
+	// directory screenshots were.
+	y := 30
+	im.DrawText(2, y, 1, "PACK CONTENTS: 120 FILES")
+	y += LineHeight(1)
+	for i := 1; y+GlyphH < h; i++ {
+		size := 30 + (int(seed)+i*37)%60
+		im.DrawText(2, y, 1, "0"+string(rune('0'+i%10))+".SIMG "+string(rune('0'+size/10))+string(rune('0'+size%10))+" KB JPG OK")
+		y += LineHeight(1)
+	}
+	return im
+}

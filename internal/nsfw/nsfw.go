@@ -1,0 +1,74 @@
+// Package nsfw is the reproduction's stand-in for Yahoo's OpenNSFW
+// deep-learning model: it assigns each image a probability-like score
+// in [0, 1] that the image contains nudity.
+//
+// Instead of a neural network (no training data can exist for this
+// study's imagery), the scorer measures two pixel statistics of the
+// synthetic raster: the fraction of skin-band pixels and their spatial
+// coherence (bodies are contiguous blobs; scattered skin-valued noise
+// is not). The resulting score lands in the bands the paper reports:
+// non-nude images below 0.3, clothed models between roughly 0.1 and
+// 0.7, nude models above 0.3 — which is all Algorithm 1 consumes.
+package nsfw
+
+import (
+	"math"
+
+	"repro/internal/imagex"
+)
+
+// Scorer scores images for nudity. The zero value uses default
+// calibration; fields allow the ablation benches to perturb it.
+//
+// The mapping is convex (a power curve), mirroring how OpenNSFW
+// behaves on real imagery: clearly innocuous photos — even ones
+// containing some skin, like a person photographed at a distance —
+// score well below 0.01, while the score climbs steeply once skin
+// dominates the frame.
+type Scorer struct {
+	// FractionGain is the final multiplicative gain. Default 1.6.
+	FractionGain float64
+	// CoherenceGain scales the coherence multiplier. Default 3.
+	CoherenceGain float64
+	// Exponent is the convexity of the response curve. Default 1.7.
+	Exponent float64
+}
+
+// Default returns the calibrated scorer used throughout the study.
+func Default() Scorer {
+	return Scorer{FractionGain: 1.6, CoherenceGain: 3, Exponent: 1.7}
+}
+
+// Score returns the nudity score of the image in [0, 1].
+func (s Scorer) Score(im *imagex.Image) float64 {
+	fg := s.FractionGain
+	if fg == 0 {
+		fg = 1.6
+	}
+	cg := s.CoherenceGain
+	if cg == 0 {
+		cg = 3
+	}
+	exp := s.Exponent
+	if exp == 0 {
+		exp = 1.7
+	}
+	f := im.SkinFraction()
+	c := im.SkinCoherence()
+	cmul := cg * c
+	if cmul > 1 {
+		cmul = 1
+	}
+	raw := f * (0.6 + 1.4*cmul)
+	score := fg * math.Pow(raw, exp)
+	if score > 1 {
+		score = 1
+	}
+	if score < 0 {
+		score = 0
+	}
+	return score
+}
+
+// Score is a convenience wrapper using the default calibration.
+func Score(im *imagex.Image) float64 { return Default().Score(im) }

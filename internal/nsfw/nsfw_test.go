@@ -1,0 +1,130 @@
+package nsfw
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/imagex"
+)
+
+func avgScore(t *testing.T, gen func(seed uint64) *imagex.Image, n int) float64 {
+	t.Helper()
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += Score(gen(uint64(1000 + i*17)))
+	}
+	return sum / float64(n)
+}
+
+func TestScreenshotsBelowSFVThreshold(t *testing.T) {
+	// Algorithm 1's first branch: NSFW < 0.01 means immediately SFV.
+	for i := 0; i < 20; i++ {
+		im := imagex.GenScreenshot(uint64(i), []string{"PAYPAL: $50.00", "STATUS: PAID"}, 140, 40)
+		if s := Score(im); s >= 0.01 {
+			t.Fatalf("screenshot %d scored %.4f, want < 0.01", i, s)
+		}
+	}
+}
+
+func TestNudeModelsAboveNSFVThreshold(t *testing.T) {
+	// Algorithm 1's second branch: NSFW > 0.3 means NSFV. Nude models
+	// must land there consistently — the study's 100% NSFV detection
+	// requirement hinges on it.
+	for i := 0; i < 40; i++ {
+		im := imagex.GenModel(uint64(i), i%4, imagex.PoseNude, 48)
+		if s := Score(im); s <= 0.3 {
+			t.Fatalf("nude model %d scored %.4f, want > 0.3", i, s)
+		}
+	}
+}
+
+func TestClothedModelsInPaperBand(t *testing.T) {
+	// The paper: "images of clothed models with high proportion of
+	// human body ... usually have a NSFW score which is between 10%
+	// and 70%". Check the average lands in that band.
+	avg := avgScore(t, func(seed uint64) *imagex.Image {
+		return imagex.GenModel(seed, 0, imagex.PoseDressed, 48)
+	}, 40)
+	if avg < 0.1 || avg > 0.7 {
+		t.Fatalf("dressed-model mean score %.3f outside [0.1, 0.7]", avg)
+	}
+}
+
+func TestPoseMonotonicity(t *testing.T) {
+	nude := avgScore(t, func(s uint64) *imagex.Image { return imagex.GenModel(s, 0, imagex.PoseNude, 48) }, 30)
+	partial := avgScore(t, func(s uint64) *imagex.Image { return imagex.GenModel(s, 0, imagex.PosePartial, 48) }, 30)
+	dressed := avgScore(t, func(s uint64) *imagex.Image { return imagex.GenModel(s, 0, imagex.PoseDressed, 48) }, 30)
+	if !(nude > partial && partial > dressed) {
+		t.Fatalf("scores not ordered by explicitness: %.3f / %.3f / %.3f", nude, partial, dressed)
+	}
+}
+
+func TestPlainLandscapeLow(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		im := imagex.GenLandscape(uint64(i*3+1), 48, false)
+		if s := Score(im); s > 0.3 {
+			t.Fatalf("plain landscape %d scored %.3f", i, s)
+		}
+	}
+}
+
+func TestSkinLikeLandscapeIsFalsePositiveSource(t *testing.T) {
+	// The paper's hard cases: images "containing colours or textures
+	// resembling the human body". These must score into NSFV range so
+	// the classifier exhibits its documented ~8% false-positive rate.
+	high := 0
+	for i := 0; i < 20; i++ {
+		im := imagex.GenLandscape(uint64(i*7+5), 48, true)
+		if Score(im) > 0.3 {
+			high++
+		}
+	}
+	if high == 0 {
+		t.Fatal("no skin-like landscape scored above 0.3; FP pathway untested")
+	}
+}
+
+func TestErrorBannerNearZero(t *testing.T) {
+	im := imagex.GenErrorBanner(1, "IMAGE REMOVED", 160, 40)
+	if s := Score(im); s >= 0.01 {
+		t.Fatalf("error banner scored %.4f", s)
+	}
+}
+
+func TestZeroValueScorerUsesDefaults(t *testing.T) {
+	var z Scorer
+	im := imagex.GenModel(5, 0, imagex.PoseNude, 48)
+	if z.Score(im) != Default().Score(im) {
+		t.Fatal("zero-value scorer differs from Default")
+	}
+}
+
+// Property: scores are always within [0, 1].
+func TestQuickScoreBounded(t *testing.T) {
+	f := func(seed uint64, kind uint8) bool {
+		var im *imagex.Image
+		switch kind % 4 {
+		case 0:
+			im = imagex.GenModel(seed, 0, imagex.PoseNude, 32)
+		case 1:
+			im = imagex.GenModel(seed, 1, imagex.PoseDressed, 32)
+		case 2:
+			im = imagex.GenLandscape(seed, 32, true)
+		default:
+			im = imagex.GenScreenshot(seed, []string{"X"}, 32, 16)
+		}
+		s := Score(im)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScore(b *testing.B) {
+	im := imagex.GenModel(1, 0, imagex.PoseNude, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Score(im)
+	}
+}

@@ -1,0 +1,236 @@
+// Package ocr is the reproduction's stand-in for the Tesseract OCR
+// engine: it recognises text rendered with the imagex glyph font and
+// reports the number of words found, which is the only output
+// Algorithm 1 consumes ("the Tesseract software, which outputs the
+// number of words recognised in an image").
+//
+// The engine genuinely reads pixels: it binarises the raster, slides
+// the font's 5x7 templates across candidate positions, accepts exact
+// template matches, and groups matched glyphs into words by horizontal
+// gaps. Text screenshots therefore score high, model photos score
+// zero, and noisy or dark images score near zero — the same behaviour
+// contour the real pipeline relies on.
+package ocr
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/imagex"
+)
+
+// inkThreshold binarises pixels: values below it count as ink.
+const inkThreshold = 128
+
+// wordGap is the minimum pixel gap between glyphs that starts a new
+// word. Glyphs within a word are 1 blank column apart (advance 6,
+// width 5); a space character adds a full 6-pixel advance.
+const wordGap = 6
+
+// template is a prepared glyph: its ink mask and a quick-reject probe
+// (the first ink pixel).
+type template struct {
+	r       rune
+	mask    [imagex.GlyphH][imagex.GlyphW]bool
+	probeX  int
+	probeY  int
+	inkArea int
+}
+
+var templates = buildTemplates()
+
+func buildTemplates() []template {
+	runes := imagex.GlyphRunes()
+	sort.Slice(runes, func(i, j int) bool { return runes[i] < runes[j] })
+	out := make([]template, 0, len(runes))
+	for _, r := range runes {
+		g, _ := imagex.Glyph(r)
+		t := template{r: r, probeX: -1}
+		for y := 0; y < imagex.GlyphH; y++ {
+			for x := 0; x < imagex.GlyphW; x++ {
+				if g[y][x] == '#' {
+					t.mask[y][x] = true
+					t.inkArea++
+					if t.probeX < 0 {
+						t.probeX, t.probeY = x, y
+					}
+				}
+			}
+		}
+		if t.inkArea > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Glyph is one recognised character with its position.
+type Glyph struct {
+	R    rune
+	X, Y int
+}
+
+// Result is the outcome of recognising an image.
+type Result struct {
+	Glyphs []Glyph
+	Words  int
+	Text   string
+}
+
+// WordCount returns just the number of words recognised in the image.
+func WordCount(im *imagex.Image) int { return Recognize(im).Words }
+
+// Recognize scans the image for font glyphs and groups them into
+// words and lines.
+func Recognize(im *imagex.Image) Result {
+	ink := binarise(im)
+	rowHasInk := make([]bool, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			if ink[y*im.W+x] {
+				rowHasInk[y] = true
+				break
+			}
+		}
+	}
+
+	var cands []candidate
+	for y := 0; y+imagex.GlyphH <= im.H; y++ {
+		// A glyph needs ink somewhere in its 7-row window.
+		windowHasInk := false
+		for dy := 0; dy < imagex.GlyphH; dy++ {
+			if rowHasInk[y+dy] {
+				windowHasInk = true
+				break
+			}
+		}
+		if !windowHasInk {
+			continue
+		}
+		for x := 0; x+imagex.GlyphW <= im.W; {
+			if g, area, ok := matchAt(im, ink, x, y); ok {
+				cands = append(cands, candidate{Glyph{R: g, X: x, Y: y}, area})
+				x += imagex.GlyphW + 1
+			} else {
+				x++
+			}
+		}
+	}
+
+	glyphs := resolve(cands)
+	words, text := group(glyphs)
+	return Result{Glyphs: glyphs, Words: words, Text: text}
+}
+
+func binarise(im *imagex.Image) []bool {
+	ink := make([]bool, len(im.Pix))
+	for i, p := range im.Pix {
+		ink[i] = p < inkThreshold
+	}
+	return ink
+}
+
+// candidate is a template match before overlap resolution.
+type candidate struct {
+	g    Glyph
+	area int
+}
+
+// matchAt tries every template at position (x, y) and returns the
+// matched rune and its ink area. A match is exact: every '#' cell is
+// ink and every '.' cell is not.
+func matchAt(im *imagex.Image, ink []bool, x, y int) (rune, int, bool) {
+	w := im.W
+	for i := range templates {
+		t := &templates[i]
+		// Quick reject on the first ink pixel.
+		if !ink[(y+t.probeY)*w+x+t.probeX] {
+			continue
+		}
+		ok := true
+		for dy := 0; dy < imagex.GlyphH && ok; dy++ {
+			row := (y + dy) * w
+			for dx := 0; dx < imagex.GlyphW; dx++ {
+				if t.mask[dy][dx] != ink[row+x+dx] {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return t.r, t.inkArea, true
+		}
+	}
+	return 0, 0, false
+}
+
+// resolve removes overlapping candidate matches. Sparse punctuation
+// templates ('.', '-') can ghost-match across line boundaries inside
+// another glyph's cell; preferring the candidate with the larger ink
+// area keeps the true glyph.
+func resolve(cands []candidate) []Glyph {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].area != cands[j].area {
+			return cands[i].area > cands[j].area
+		}
+		if cands[i].g.Y != cands[j].g.Y {
+			return cands[i].g.Y < cands[j].g.Y
+		}
+		return cands[i].g.X < cands[j].g.X
+	})
+	var accepted []Glyph
+	for _, c := range cands {
+		overlap := false
+		for _, a := range accepted {
+			if abs(c.g.Y-a.Y) < imagex.GlyphH && abs(c.g.X-a.X) < imagex.GlyphW {
+				overlap = true
+				break
+			}
+		}
+		if !overlap {
+			accepted = append(accepted, c.g)
+		}
+	}
+	sort.Slice(accepted, func(i, j int) bool {
+		if accepted[i].Y != accepted[j].Y {
+			return accepted[i].Y < accepted[j].Y
+		}
+		return accepted[i].X < accepted[j].X
+	})
+	return accepted
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// group splits recognised glyphs into words (same line, gap below
+// wordGap+GlyphW) and reconstructs the text.
+func group(glyphs []Glyph) (int, string) {
+	if len(glyphs) == 0 {
+		return 0, ""
+	}
+	words := 0
+	var sb strings.Builder
+	prev := Glyph{X: -1 << 30, Y: -1 << 30}
+	for _, g := range glyphs {
+		newLine := g.Y != prev.Y
+		newWord := newLine || g.X-prev.X > imagex.GlyphW+wordGap
+		if newWord {
+			words++
+			if sb.Len() > 0 {
+				if newLine {
+					sb.WriteByte('\n')
+				} else {
+					sb.WriteByte(' ')
+				}
+			}
+		}
+		sb.WriteRune(g.R)
+		prev = g
+	}
+	return words, sb.String()
+}

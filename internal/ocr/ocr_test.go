@@ -1,0 +1,158 @@
+package ocr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/imagex"
+	"repro/internal/randx"
+)
+
+func TestRecognizeSingleWord(t *testing.T) {
+	im := imagex.New(80, 12, 240)
+	im.DrawText(2, 2, 1, "HELLO")
+	res := Recognize(im)
+	if res.Words != 1 {
+		t.Fatalf("Words = %d (text %q)", res.Words, res.Text)
+	}
+	if res.Text != "HELLO" {
+		t.Fatalf("Text = %q", res.Text)
+	}
+}
+
+func TestRecognizeSentence(t *testing.T) {
+	im := imagex.New(200, 14, 235)
+	im.DrawText(2, 3, 1, "PAYPAL BALANCE $120.50")
+	res := Recognize(im)
+	if res.Words != 3 {
+		t.Fatalf("Words = %d (text %q)", res.Words, res.Text)
+	}
+	if !strings.Contains(res.Text, "PAYPAL") || !strings.Contains(res.Text, "$120.50") {
+		t.Fatalf("Text = %q", res.Text)
+	}
+}
+
+func TestRecognizeMultiLine(t *testing.T) {
+	im := imagex.GenScreenshot(1, []string{
+		"AMAZON GIFT CARD",
+		"AMOUNT: $50.00",
+		"STATUS: PAID",
+	}, 160, 40)
+	res := Recognize(im)
+	if res.Words != 7 {
+		t.Fatalf("Words = %d (text %q)", res.Words, res.Text)
+	}
+	lines := strings.Split(res.Text, "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d (text %q)", len(lines), res.Text)
+	}
+}
+
+func TestModelPhotoScoresZero(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		im := imagex.GenModel(seed, 0, imagex.PoseNude, 48)
+		if w := WordCount(im); w > 1 {
+			t.Fatalf("model photo seed %d recognised %d words", seed, w)
+		}
+	}
+}
+
+func TestDarkImageScoresZero(t *testing.T) {
+	// A dark image binarises to all-ink, where no template can match
+	// (every template has at least one '.' cell).
+	im := imagex.New(60, 30, 40)
+	if w := WordCount(im); w != 0 {
+		t.Fatalf("solid dark image recognised %d words", w)
+	}
+}
+
+func TestNoiseScoresZero(t *testing.T) {
+	rng := randx.New(77)
+	im := imagex.New(64, 64, 0)
+	for i := range im.Pix {
+		im.Pix[i] = byte(rng.Uint32())
+	}
+	if w := WordCount(im); w > 2 {
+		t.Fatalf("random noise recognised %d words", w)
+	}
+}
+
+func TestLowercaseInputRendersAsUppercase(t *testing.T) {
+	im := imagex.New(100, 12, 240)
+	im.DrawText(2, 2, 1, "proof")
+	res := Recognize(im)
+	if res.Text != "PROOF" {
+		t.Fatalf("Text = %q", res.Text)
+	}
+}
+
+func TestAllGlyphsRoundtrip(t *testing.T) {
+	runes := imagex.GlyphRunes()
+	for _, r := range runes {
+		im := imagex.New(20, 12, 245)
+		im.DrawText(4, 3, 1, string(r))
+		res := Recognize(im)
+		if len(res.Glyphs) != 1 {
+			t.Errorf("glyph %q: recognised %d glyphs (%q)", r, len(res.Glyphs), res.Text)
+			continue
+		}
+		got := res.Glyphs[0].R
+		want := r
+		if want >= 'a' && want <= 'z' {
+			want = want - 'a' + 'A'
+		}
+		if got != want {
+			t.Errorf("glyph %q recognised as %q", r, got)
+		}
+	}
+}
+
+func TestThumbnailGridTextRich(t *testing.T) {
+	im := imagex.GenThumbnailGrid(5, 99, 160, 110)
+	if w := WordCount(im); w <= 20 {
+		t.Fatalf("directory screenshot recognised only %d words; Algorithm 1 needs > 20", w)
+	}
+}
+
+func TestErrorBannerHasWords(t *testing.T) {
+	im := imagex.GenErrorBanner(2, "IMAGE REMOVED FOR TOS VIOLATION", 220, 30)
+	if w := WordCount(im); w < 4 {
+		t.Fatalf("error banner recognised %d words", w)
+	}
+}
+
+func TestEmptyImage(t *testing.T) {
+	im := imagex.New(30, 10, 255)
+	res := Recognize(im)
+	if res.Words != 0 || res.Text != "" || len(res.Glyphs) != 0 {
+		t.Fatalf("blank image result: %+v", res)
+	}
+}
+
+func TestTooSmallImage(t *testing.T) {
+	im := imagex.New(3, 3, 0)
+	if w := WordCount(im); w != 0 {
+		t.Fatalf("3x3 image recognised %d words", w)
+	}
+}
+
+func BenchmarkRecognizeScreenshot(b *testing.B) {
+	im := imagex.GenScreenshot(1, []string{
+		"PAYPAL DASHBOARD",
+		"BALANCE: $843.22",
+		"RECENT: +$50.00 +$25.00",
+		"FROM: THREE CUSTOMERS",
+	}, 180, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Recognize(im)
+	}
+}
+
+func BenchmarkRecognizeModelPhoto(b *testing.B) {
+	im := imagex.GenModel(1, 0, imagex.PoseNude, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Recognize(im)
+	}
+}

@@ -1,0 +1,197 @@
+package photodna
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/imagex"
+)
+
+func TestMatchExact(t *testing.T) {
+	hl := NewHashList(0)
+	im := imagex.GenModel(1, 0, imagex.PoseNude, 48)
+	hl.Add(im, Entry{ID: 7, Actionable: true, Severity: CategoryA, VictimAge: 17})
+	e, ok := hl.Match(im)
+	if !ok || e.ID != 7 {
+		t.Fatalf("Match = %+v %v", e, ok)
+	}
+}
+
+func TestMatchSurvivesRecompression(t *testing.T) {
+	hl := NewHashList(0)
+	im := imagex.GenModel(3, 1, imagex.PoseNude, 48)
+	hl.Add(im, Entry{ID: 1})
+	re := im.Recompress(16)
+	if _, ok := hl.Match(re); !ok {
+		t.Fatal("recompressed image evaded the hashlist; robust hashing broken")
+	}
+}
+
+func TestMatchRejectsUnrelated(t *testing.T) {
+	hl := NewHashList(0)
+	for i := 0; i < 50; i++ {
+		hl.Add(imagex.GenModel(uint64(i), 0, imagex.PoseNude, 48), Entry{ID: i})
+	}
+	misses := 0
+	for i := 1000; i < 1100; i++ {
+		if _, ok := hl.Match(imagex.GenModel(uint64(i), 0, imagex.PoseNude, 48)); !ok {
+			misses++
+		}
+	}
+	if misses < 95 {
+		t.Fatalf("only %d/100 unrelated images missed the hashlist; radius too loose", misses)
+	}
+}
+
+func TestMirrorEvades(t *testing.T) {
+	// Robust hashing is not mirror-invariant (the paper notes actors
+	// can mirror images to evade detection systems).
+	hl := NewHashList(0)
+	im := imagex.GenModel(9, 0, imagex.PoseNude, 48)
+	hl.Add(im, Entry{ID: 1})
+	if _, ok := hl.Match(im.Mirror()); ok {
+		t.Log("mirrored image still matched — hash unusually symmetric; acceptable but rare")
+	}
+}
+
+func TestMatchPicksClosest(t *testing.T) {
+	hl := NewHashList(10)
+	hl.AddHash(RobustHash{A: 0x00ff}, Entry{ID: 1})
+	hl.AddHash(RobustHash{A: 0x000f}, Entry{ID: 2})
+	// Query 0x0007: distance 1 to 0x000f (differ in bit 3), larger to 0x00ff.
+	e, ok := hl.MatchHash(RobustHash{A: 0x0007})
+	if !ok || e.ID != 2 {
+		t.Fatalf("MatchHash = %+v %v, want entry 2", e, ok)
+	}
+}
+
+func TestHashListLen(t *testing.T) {
+	hl := NewHashList(0)
+	if hl.Len() != 0 {
+		t.Fatal("fresh hashlist not empty")
+	}
+	hl.AddHash(RobustHash{A: 1}, Entry{})
+	hl.AddHash(RobustHash{A: 2}, Entry{})
+	hl.AddHash(RobustHash{A: 1}, Entry{}) // duplicate hash replaces
+	if hl.Len() != 2 {
+		t.Fatalf("Len = %d", hl.Len())
+	}
+}
+
+func TestRobustHashDistance(t *testing.T) {
+	a := RobustHash{A: 0x0f, D: 0xf0}
+	b := RobustHash{A: 0x0e, D: 0x70}
+	if d := a.Distance(b); d != 2 {
+		t.Fatalf("Distance = %d want 2", d)
+	}
+	if a.Distance(a) != 0 {
+		t.Fatal("self-distance nonzero")
+	}
+}
+
+func TestFilterReportsAndWithholds(t *testing.T) {
+	hl := NewHashList(0)
+	bad := imagex.GenModel(42, 0, imagex.PoseNude, 48)
+	hl.Add(bad, Entry{ID: 5, Actionable: true, Severity: CategoryB, VictimAge: 16})
+	hot := NewHotline()
+	f := NewFilter(hl, hot)
+
+	urls := []URLReport{{URL: "http://img.example/x", Region: RegionUK, SiteType: SiteImageSharing}}
+	if f.Check(bad, 10, 20, urls) {
+		t.Fatal("hashlisted image passed the gate")
+	}
+	clean := imagex.GenModel(43, 0, imagex.PoseNude, 48)
+	if !f.Check(clean, 10, 21, nil) {
+		t.Fatal("clean image blocked")
+	}
+	reports := hot.Reports()
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	r := reports[0]
+	if r.Entry.ID != 5 || r.SourceThread != 10 || r.SourcePost != 20 || len(r.URLs) != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	hot := NewHotline()
+	hot.Report(MatchReport{
+		Entry: Entry{Actionable: true, Severity: CategoryA},
+		URLs: []URLReport{
+			{Region: RegionUK, SiteType: SiteImageSharing},
+			{Region: RegionNorthAmerica, SiteType: SiteForum},
+		},
+	})
+	hot.Report(MatchReport{
+		Entry: Entry{Actionable: false, Severity: CategoryC},
+		URLs:  []URLReport{{Region: RegionEurope, SiteType: SiteBlog}},
+	})
+	s := hot.Summarize()
+	if s.Matches != 2 {
+		t.Errorf("Matches = %d", s.Matches)
+	}
+	if s.ActionableURLs != 2 {
+		t.Errorf("ActionableURLs = %d (non-actionable must not be actioned)", s.ActionableURLs)
+	}
+	if s.BySeverity[CategoryA] != 2 || s.BySeverity[CategoryC] != 0 {
+		t.Errorf("BySeverity = %v", s.BySeverity)
+	}
+	if s.ByRegion[RegionUK] != 1 || s.ByRegion[RegionEurope] != 0 {
+		t.Errorf("ByRegion = %v", s.ByRegion)
+	}
+	if s.BySiteType[SiteForum] != 1 {
+		t.Errorf("BySiteType = %v", s.BySiteType)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestConcurrentFilter(t *testing.T) {
+	hl := NewHashList(0)
+	bad := imagex.GenModel(7, 0, imagex.PoseNude, 48)
+	hl.Add(bad, Entry{ID: 1, Actionable: true, Severity: CategoryA})
+	hot := NewHotline()
+	f := NewFilter(hl, hot)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				f.Check(bad, g, i, nil)
+				f.Check(imagex.GenModel(uint64(100+g*50+i), 0, imagex.PoseNude, 48), g, i, nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := hot.Summarize().Matches; got != 400 {
+		t.Fatalf("concurrent matches = %d, want 400", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if CategoryA.String() != "A" || SeverityUnknown.String() != "?" {
+		t.Error("Severity.String wrong")
+	}
+	if RegionUK.String() != "UK" || RegionUnknown.String() != "unknown" {
+		t.Error("Region.String wrong")
+	}
+	if SiteImageSharing.String() != "image sharing" || SiteUnknown.String() != "unknown" {
+		t.Error("SiteType.String wrong")
+	}
+}
+
+func BenchmarkMatch(b *testing.B) {
+	hl := NewHashList(0)
+	for i := 0; i < 1000; i++ {
+		h := uint64(i) * 0x9e3779b97f4a7c15
+		hl.AddHash(RobustHash{A: imagex.Hash(h), D: imagex.Hash(h >> 1)}, Entry{ID: i})
+	}
+	im := imagex.GenModel(5, 0, imagex.PoseNude, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hl.Match(im)
+	}
+}

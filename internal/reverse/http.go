@@ -1,0 +1,94 @@
+package reverse
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/imagex"
+)
+
+// The HTTP layer mirrors how the study consumed TinEye: an API the
+// pipeline POSTs an image to, receiving a JSON report of matches.
+
+// searchResponse is the wire format of a search result.
+type searchResponse struct {
+	Matches []Match `json:"matches"`
+}
+
+// Handler serves the index over HTTP:
+//
+//	POST /search  (body: SIMG image)  → 200 JSON {"matches": [...]}
+//	GET  /stats                       → 200 JSON {"indexed": N}
+func Handler(ix *Index) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 32<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		im, err := imagex.Decode(body)
+		if err != nil {
+			http.Error(w, "bad image payload", http.StatusBadRequest)
+			return
+		}
+		matches := ix.Search(im)
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(searchResponse{Matches: matches}); err != nil {
+			// Headers already sent; nothing more to do.
+			return
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"indexed":%d}`, ix.Len())
+	})
+	return mux
+}
+
+// Client queries a reverse-image-search service over HTTP, playing the
+// role of the TinEye API client.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for the service at baseURL (no trailing
+// slash). httpClient may be nil (http.DefaultClient).
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{BaseURL: baseURL, HTTP: httpClient}
+}
+
+// Search submits an image and returns its matches.
+func (c *Client) Search(ctx context.Context, im *imagex.Image) ([]Match, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/search", bytes.NewReader(im.Encode()))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "image/x-simg")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("reverse: search returned status %d", resp.StatusCode)
+	}
+	var sr searchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("reverse: bad response: %w", err)
+	}
+	return sr.Matches, nil
+}

@@ -1,0 +1,102 @@
+package socialgraph
+
+import (
+	"sort"
+
+	"repro/internal/forum"
+)
+
+// Structural metrics beyond centrality: degree distributions and
+// connected components, used to characterise the interaction network
+// (the paper's network has a giant component anchored on the popular
+// pack sharers and a fringe of one-off posters).
+
+// Degree holds one actor's in/out interaction degrees and strengths.
+type Degree struct {
+	// In and Out are distinct-counterparty counts.
+	In, Out int
+	// InW and OutW are response-weighted.
+	InW, OutW float64
+}
+
+// Degrees computes per-actor degrees.
+func (g *Graph) Degrees() map[forum.ActorID]Degree {
+	out := make(map[forum.ActorID]Degree, len(g.actors))
+	for i, m := range g.out {
+		d := out[g.actors[i]]
+		d.Out += len(m)
+		for j, w := range m {
+			d.OutW += w
+			dj := out[g.actors[j]]
+			dj.In++
+			dj.InW += w
+			out[g.actors[j]] = dj
+		}
+		out[g.actors[i]] = d
+	}
+	// Ensure isolated nodes appear.
+	for _, a := range g.actors {
+		if _, ok := out[a]; !ok {
+			out[a] = Degree{}
+		}
+	}
+	return out
+}
+
+// Components returns the weakly connected components, largest first.
+// Each component is a sorted list of actor IDs.
+func (g *Graph) Components() [][]forum.ActorID {
+	n := len(g.actors)
+	if n == 0 {
+		return nil
+	}
+	// Undirected adjacency.
+	adj := make([][]int, n)
+	for i, m := range g.out {
+		for j := range m {
+			adj[i] = append(adj[i], j)
+			adj[j] = append(adj[j], i)
+		}
+	}
+	seen := make([]bool, n)
+	var comps [][]forum.ActorID
+	stack := make([]int, 0, n)
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		stack = append(stack[:0], start)
+		seen[start] = true
+		var comp []forum.ActorID
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, g.actors[v])
+			for _, u := range adj[v] {
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}
+
+// GiantComponentFraction returns the share of actors in the largest
+// component.
+func (g *Graph) GiantComponentFraction() float64 {
+	comps := g.Components()
+	if len(comps) == 0 {
+		return 0
+	}
+	return float64(len(comps[0])) / float64(len(g.actors))
+}

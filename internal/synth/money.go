@@ -1,0 +1,248 @@
+package synth
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/earnings"
+	"repro/internal/forum"
+	"repro/internal/imagex"
+	"repro/internal/randx"
+)
+
+// proofSiteWeights: proof screenshots live on the big image hosts.
+var proofSiteWeights = []struct {
+	domain string
+	weight float64
+}{
+	{"imgur.com", 60}, {"gyazo.com", 25}, {"prnt.sc", 10}, {"imageshack.com", 5},
+}
+
+// genProofLink creates one proof-of-earnings link: it synthesises the
+// proof (platform, amounts, transactions), renders the dashboard
+// screenshot, uploads it, and records the ground truth. The returned
+// URL is embedded in the calling post's body. The mix reproduces §5.1:
+// ~12% of links rot, most of the rest are genuine proofs, some are
+// chat screenshots or stray pack previews.
+func (w *World) genProofLink(st *forumState, author forum.ActorID, tm time.Time, _ interface{}) string {
+	rng := st.rng
+	domain := pickWeighted(rng, proofSiteWeights)
+	path := "proof" + w.nextToken()
+	url := fmt.Sprintf("https://%s/%s", domain, path)
+	pt := ProofTruth{URL: url, Actor: author, Date: tm}
+
+	site, haveSite := w.Web.Site(domain)
+	r := rng.Float64()
+	switch {
+	case r < 0.12 || !haveSite:
+		pt.Kind = ProofDead // never uploaded → 404
+	case r < 0.80:
+		pt.Kind = ProofEarnings
+		proof := w.synthProof(rng, author, tm)
+		pt.Truth = proof
+		site.PutImage(path, earnings.RenderProofImage(rng.Uint64(), proof))
+	case r < 0.88:
+		pt.Kind = ProofChat
+		site.PutImage(path, imagex.GenScreenshot(rng.Uint64(), []string{
+			"HEY CUTIE", "WANNA SEE MORE", "SEND 20 FIRST", "OK SENDING NOW",
+		}, 150, 44))
+	default:
+		pt.Kind = ProofPreview
+		if len(w.Models) > 0 {
+			m := w.Models[rng.Intn(len(w.Models))]
+			site.PutImage(path, w.ModelImage(m, rng.Intn(len(m.Images))))
+		} else {
+			pt.Kind = ProofDead
+		}
+	}
+	w.Proofs = append(w.Proofs, pt)
+	w.pendingProofs = append(w.pendingProofs, len(w.Proofs)-1)
+	return url
+}
+
+// synthProof draws a proof's financial content. Platform shares shift
+// over time (Figure 3: PayPal dominates early, Amazon Gift Cards take
+// over from 2016); amounts are heavy-tailed with the $5-50 typical
+// trade and occasional $200 cam-show payments.
+func (w *World) synthProof(rng *randx.Rand, author forum.ActorID, tm time.Time) earnings.Proof {
+	var platform earnings.Platform
+	year := tm.Year()
+	r := rng.Float64()
+	switch {
+	case year < 2014:
+		switch {
+		case r < 0.72:
+			platform = earnings.PlatformPayPal
+		case r < 0.87:
+			platform = earnings.PlatformAGC
+		case r < 0.95:
+			platform = earnings.PlatformCash
+		default:
+			platform = earnings.PlatformSkrill
+		}
+	case year < 2016:
+		switch {
+		case r < 0.52:
+			platform = earnings.PlatformPayPal
+		case r < 0.90:
+			platform = earnings.PlatformAGC
+		case r < 0.96:
+			platform = earnings.PlatformSkrill
+		default:
+			platform = earnings.PlatformBitcoin
+		}
+	default:
+		switch {
+		case r < 0.58:
+			platform = earnings.PlatformAGC
+		case r < 0.88:
+			platform = earnings.PlatformPayPal
+		case r < 0.94:
+			platform = earnings.PlatformSkrill
+		default:
+			platform = earnings.PlatformBitcoin
+		}
+	}
+	currency := earnings.USD
+	switch {
+	case rng.Bool(0.10):
+		currency = earnings.GBP
+	case rng.Bool(0.10):
+		currency = earnings.EUR
+	}
+	if platform == earnings.PlatformBitcoin {
+		currency = earnings.USD // wallets shown in fiat equivalent
+	}
+
+	p := earnings.Proof{
+		Actor:    author,
+		Platform: platform,
+		Currency: currency,
+		Date:     tm,
+	}
+	// Per-proof totals: log-normal, median ≈ $175, heavy tail.
+	total := rng.LogNormal(5.17, 1.1)
+	if total > 9000 {
+		total = 9000
+	}
+	// The paper: ~60% of proofs show per-transaction detail.
+	if rng.Bool(0.6) {
+		remaining := total
+		for remaining > 1 && len(p.Transactions) < 40 {
+			amt := 8 + rng.Float64()*52
+			if rng.Bool(0.06) {
+				amt = 180 + rng.Float64()*60 // cam shows
+			}
+			if amt > remaining {
+				amt = remaining
+			}
+			p.Transactions = append(p.Transactions, earnings.Transaction{
+				Amount:   round2(amt),
+				Currency: currency,
+				Date:     tm.AddDate(0, 0, -rng.Intn(28)),
+			})
+			remaining -= amt
+		}
+		sum := 0.0
+		for _, tx := range p.Transactions {
+			sum += tx.Amount
+		}
+		p.Total = round2(sum)
+	} else {
+		p.Total = round2(total)
+	}
+	return p
+}
+
+func round2(v float64) float64 {
+	return float64(int(v*100+0.5)) / 100
+}
+
+// fixupProofThreads attaches the thread ID to proofs generated while
+// the thread was being built.
+func (w *World) fixupProofThreads(tid forum.ThreadID, _ []forum.PostID) {
+	for _, idx := range w.pendingProofs {
+		w.Proofs[idx].Thread = tid
+	}
+	w.pendingProofs = w.pendingProofs[:0]
+}
+
+// Table 7 marginal distributions for the Currency Exchange board.
+var (
+	exchangeHaveDist = []struct {
+		kind   string
+		weight float64
+	}{
+		{"PayPal", 3707}, {"BTC", 2763}, {"AGC", 1498}, {"?", 839}, {"others", 259},
+	}
+	exchangeWantDist = []struct {
+		kind   string
+		weight float64
+	}{
+		{"BTC", 4626}, {"PayPal", 2801}, {"?", 1128}, {"AGC", 310}, {"others", 201},
+	}
+)
+
+func pickExchangeKind(rng *randx.Rand, dist []struct {
+	kind   string
+	weight float64
+}) string {
+	weights := make([]float64, len(dist))
+	for i, e := range dist {
+		weights[i] = e.weight
+	}
+	return dist[rng.WeightedPick(weights)].kind
+}
+
+// genExchange populates Hackforums' Currency Exchange board: threads
+// by eWhoring actors (after they started eWhoring) following the
+// de-facto "[H] offered [W] wanted" heading format, plus background
+// trading by everyone else.
+func (w *World) genExchange(st *forumState) {
+	rng := st.rng
+	// Eligible: the most active eWhoring actors (the paper restricts
+	// the Table 7 analysis to >50 eWhoring posts; at reduced scale the
+	// threshold shrinks proportionally).
+	thr := int(50 * w.Config.Scale * 4)
+	if thr < 3 {
+		thr = 3
+	}
+	var eligible []forum.ActorID
+	for a, n := range st.ewCount {
+		if n >= thr {
+			eligible = append(eligible, a)
+		}
+	}
+	nEw := w.Config.scaled(9066, 8)
+	nBg := w.Config.scaled(6000, 5)
+	mk := func(author forum.ActorID, after, until time.Time) {
+		have := pickExchangeKind(rng, exchangeHaveDist)
+		want := pickExchangeKind(rng, exchangeWantDist)
+		haveTok := randx.Pick(rng, exchangeHaveTokens[have])
+		wantTok := randx.Pick(rng, exchangeHaveTokens[want])
+		heading := fmt.Sprintf("[H] %s [W] %s - quick trade", haveTok, wantTok)
+		if until.After(datasetEnd) {
+			until = datasetEnd
+		}
+		span := int(until.Sub(after).Hours() / 24)
+		if span < 1 {
+			span = 1
+		}
+		tm := after.AddDate(0, 0, rng.Intn(span))
+		tid := w.Store.AddThread(w.HFCurrency, author, heading, "looking to trade, pm me or post here", tm)
+		w.Truth[tid] = &ThreadTruth{Kind: KindExchange}
+		if rng.Bool(0.5) {
+			w.Store.AddReply(tid, st.actors[st.zipf.Next()], "pm sent", tm.Add(6*time.Hour), 0)
+		}
+	}
+	if len(eligible) > 0 {
+		for i := 0; i < nEw; i++ {
+			a := eligible[rng.Intn(len(eligible))]
+			mk(a, w.Actors[a].EwStart, w.Actors[a].LastActivity)
+		}
+	}
+	for i := 0; i < nBg; i++ {
+		a := st.actors[st.zipf.Next()]
+		mk(a, w.Actors[a].Registered, w.Actors[a].LastActivity)
+	}
+}

@@ -1,0 +1,249 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/hosting"
+	"repro/internal/imagex"
+	"repro/internal/randx"
+	"repro/internal/urlx"
+)
+
+// Table 3 link-share weights (image-sharing sites), including the
+// snowballed long tail.
+var imageSiteWeights = []struct {
+	domain string
+	weight float64
+}{
+	{"imgur.com", 3297}, {"gyazo.com", 1006}, {"imageshack.com", 679},
+	{"prnt.sc", 383}, {"photobucket.com", 311}, {"imagetwist.com", 105},
+	{"imagezilla.net", 97}, {"minus.com", 51}, {"postimage.org", 47},
+	{"imagebam.com", 44},
+	// "Others": 700 across the snowballed hosts.
+	{"otherimg00.example", 70}, {"otherimg01.example", 66},
+	{"otherimg02.example", 64}, {"otherimg03.example", 62},
+	{"otherimg04.example", 60}, {"otherimg05.example", 58},
+	{"otherimg06.example", 56}, {"otherimg07.example", 56},
+	{"otherimg08.example", 54}, {"otherimg09.example", 52},
+	{"otherimg10.example", 52}, {"otherimg11.example", 50},
+}
+
+// Table 4 link-share weights (cloud-storage services).
+var cloudSiteWeights = []struct {
+	domain string
+	weight float64
+}{
+	{"mediafire.com", 892}, {"mega.nz", 284}, {"dropbox.com", 130},
+	{"oron.com", 95}, {"depositfiles.com", 46}, {"filefactory.com", 37},
+	{"drive.google.com", 31}, {"ge.tt", 28}, {"zippyshare.com", 25},
+	{"filedropper.com", 24},
+	// "Others": 94 across the snowballed hosts.
+	{"othercloud00.example", 14}, {"othercloud01.example", 13},
+	{"othercloud02.example", 13}, {"othercloud03.example", 12},
+	{"othercloud04.example", 12}, {"othercloud05.example", 11},
+	{"othercloud06.example", 10}, {"othercloud07.example", 9},
+}
+
+func pickWeighted(rng *randx.Rand, table []struct {
+	domain string
+	weight float64
+}) string {
+	weights := make([]float64, len(table))
+	for i, e := range table {
+		weights[i] = e.weight
+	}
+	return table[rng.WeightedPick(weights)].domain
+}
+
+// nextToken returns a unique URL path token.
+func (w *World) nextToken() string {
+	w.urlCounter++
+	return fmt.Sprintf("x%06d", w.urlCounter)
+}
+
+// genTOPContent builds the body and ground truth of one Thread
+// Offering Packs: it composes a pack from a model's origin images
+// (applying the transforms actors use), uploads previews to
+// image-sharing sites and the pack zips to cloud storage (with the
+// documented rates of link rot, takedowns and walls), and returns the
+// post body containing the links.
+func (w *World) genTOPContent(st *forumState, created time.Time) (string, *TOPTruth) {
+	rng := st.rng
+	top := &TOPTruth{Free: rng.Bool(0.187)}
+
+	// Pick the model: flagged models are drained into free TOPs so
+	// the hashlisted material actually circulates (and is caught).
+	if top.Free && len(w.flaggedQueue) > 0 && rng.Bool(0.7) {
+		top.Model = w.flaggedQueue[0]
+		w.flaggedQueue = w.flaggedQueue[1:]
+	} else if len(w.Models) > 0 {
+		top.Model = rng.Intn(len(w.Models))
+	}
+	var model *Model
+	if len(w.Models) > 0 {
+		model = w.Models[top.Model]
+	}
+
+	// Preview links: free TOPs carry galleries (averages tuned to
+	// Table 3's 7 314 links over the 774 linked TOPs); locked TOPs
+	// post nothing openly.
+	if top.Free {
+		nPrev := 1 + rng.Poisson(8.4)
+		for i := 0; i < nPrev; i++ {
+			top.PreviewURLs = append(top.PreviewURLs, w.uploadPreview(st, model, created))
+		}
+		w.NumPreviewLinks += nPrev
+	}
+
+	// Pack links (free TOPs only).
+	if top.Free && model != nil {
+		nPack := 1 + rng.Poisson(1.2)
+		for i := 0; i < nPack; i++ {
+			url, flagged := w.uploadPack(st, model)
+			top.PackURLs = append(top.PackURLs, url)
+			if flagged {
+				top.Flagged = true
+			}
+		}
+		w.NumPackLinks += nPack
+		if top.Flagged {
+			w.NumFlaggedTOPs++
+		}
+	}
+
+	name := "girls"
+	if model != nil {
+		name = model.Name
+	}
+	var body string
+	if top.Free {
+		body = fmt.Sprintf(randx.Pick(rng, topBodies),
+			name, strings.Join(top.PreviewURLs, " "), strings.Join(top.PackURLs, " "))
+	} else {
+		body = fmt.Sprintf(randx.Pick(rng, topLockedBodies),
+			name, strings.Join(top.PreviewURLs, " "))
+	}
+	return body, top
+}
+
+// uploadPreview uploads one preview-link target and returns its URL.
+// The mix reproduces §4.2/§4.4: ~21% of links rot, ~20% are ToS
+// takedowns (banner images), ~10% point at directory screenshots, the
+// rest at genuine model previews (often modified to dodge reverse
+// search).
+func (w *World) uploadPreview(st *forumState, model *Model, created time.Time) string {
+	rng := st.rng
+	domain := pickWeighted(rng, imageSiteWeights)
+	path := w.nextToken()
+	url := fmt.Sprintf("https://%s/%s", domain, path)
+	site, ok := w.Web.Site(domain)
+	if !ok {
+		return url
+	}
+	r := rng.Float64()
+	switch {
+	case r < 0.21:
+		// Rotted: never registered → 404.
+	case r < 0.41:
+		site.PutImage(path, imagex.New(8, 8, 0)) // placeholder, then takedown
+		site.SetStatus(path, hosting.StatusTakedown)
+	case r < 0.51 && model != nil:
+		site.PutImage(path, imagex.GenThumbnailGrid(rng.Uint64(), model.Seed, 160, 110))
+	case model != nil:
+		// A genuine preview: one of the model's "hot" (most reposted)
+		// images, possibly modified.
+		idx := w.hotImage(rng, model)
+		img := w.ModelImage(model, idx)
+		switch {
+		case rng.Bool(0.30):
+			img = img.Watermark(strings.ToUpper(st.spec.Name[:2]) + ".NET")
+		case rng.Bool(0.20):
+			img = img.Shade(0.25)
+		case rng.Bool(0.25):
+			img = img.Recompress(24)
+		}
+		site.PutImage(path, img)
+	default:
+		site.PutImage(path, imagex.GenLandscape(rng.Uint64(), w.Config.ImageSize, false))
+	}
+	return url
+}
+
+// hotImage picks a model image biased towards high repost counts.
+func (w *World) hotImage(rng *randx.Rand, model *Model) int {
+	best, bestReposts := 0, -1
+	for t := 0; t < 3; t++ {
+		i := rng.Intn(len(model.Images))
+		if model.Images[i].Reposts > bestReposts {
+			best, bestReposts = i, model.Images[i].Reposts
+		}
+	}
+	return best
+}
+
+// uploadPack composes a pack zip from the model's images and uploads
+// it to a cloud-storage service. It reports whether the pack contains
+// a hashlisted image. Packs embedding flagged material are forced
+// live so the pipeline's PhotoDNA gate is exercised.
+func (w *World) uploadPack(st *forumState, model *Model) (string, bool) {
+	rng := st.rng
+	flagged := model.Flagged >= 0
+	domain := pickWeighted(rng, cloudSiteWeights)
+	if flagged {
+		domain = "mediafire.com" // live, no wall, not defunct
+	}
+	path := "file/" + w.nextToken()
+	url := fmt.Sprintf("https://%s/%s", domain, path)
+	site, ok := w.Web.Site(domain)
+	if !ok {
+		return url, false
+	}
+
+	// Compose the pack: ~80% of the model's shoot, with the transform
+	// mix actors apply (mirroring produces the zero-match images).
+	var images []*imagex.Image
+	for i := range model.Images {
+		if rng.Bool(0.2) && i != model.Flagged {
+			continue
+		}
+		img := w.ModelImage(model, i)
+		r := rng.Float64()
+		switch {
+		case i == model.Flagged:
+			// Flagged material circulates unmodified or recompressed —
+			// PhotoDNA must still match it.
+			if rng.Bool(0.5) {
+				img = img.Recompress(32)
+			}
+		case r < 0.20:
+			img = img.Recompress(24)
+		case r < 0.25:
+			img = img.Watermark("PACK")
+		case r < 0.30:
+			img = img.Mirror()
+		}
+		images = append(images, img)
+	}
+	if err := site.PutPack(path, images); err != nil {
+		return url, false
+	}
+	if !flagged {
+		r := rng.Float64()
+		switch {
+		case r < 0.17:
+			site.SetStatus(path, hosting.StatusDeleted)
+		case r < 0.27:
+			site.SetStatus(path, hosting.StatusTakedown)
+		}
+	}
+	return url, flagged
+}
+
+// kindOfSite reports the whitelist kind the hosting world would
+// advertise for a domain (used to wire snowball sampling in tests and
+// the pipeline).
+func (w *World) kindOfSite(domain string) (urlx.Kind, bool) {
+	return w.Web.VisitKind(domain)
+}

@@ -1,0 +1,195 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/randx"
+)
+
+// Heading and body templates. The templates deliberately carry the
+// Table 2 keyword families (pack/selling/unsaturated for TOPs,
+// question/request markers for info-seeking threads, tut/guide for
+// tutorials, earn/profit for earnings threads) so the hybrid TOP
+// classifier has the same signal structure to learn from as in the
+// real corpus — plus enough noise that classification is not trivial.
+
+var modelNames = []string{
+	"kelly", "amber", "jess", "nikki", "chloe", "mia", "lana", "ruby",
+	"zoe", "tasha", "ella", "dani", "skye", "paige", "lexi", "nora",
+}
+
+var topHeadings = []string{
+	"[WTS] unsaturated %s pack - %d pics and %d vids",
+	"FREE %s pack - %d pictures - enjoy",
+	"sharing my private %s collection (%d pics)",
+	"HQ unsaturated pack of %s - %d pics %d videos",
+	"new %s pack - giving away for free",
+	"selling fresh %s set - %d pics - cheap",
+	"ULTIMATE %s package - %d pictures + verification",
+	"my personal %s repository - %d sexy pics",
+	"[PACK] %s - %d pics - unsaturated girl",
+	"huge %s compilation - %d pics %d vids - free share",
+}
+
+var topBodies = []string{
+	"Here is my %s pack, totally unsaturated. Previews: %s Full pack: %s Enjoy and leave a thanks!",
+	"Fresh set of %s, barely used. Preview %s and download %s - rep appreciated.",
+	"Giving away this %s collection. Samples: %s Get the full package here: %s",
+	"Selling this pack of %s. Check the previews first: %s Serious buyers only, pm me.",
+	"New pack compiled from my private stash of %s. Preview: %s Pack link: %s Dont get it saturated!",
+}
+
+// Locked TOPs share nothing openly: previews and packs go out by PM
+// after a reply or payment, which is why the paper could extract
+// links from only 18.71% of TOPs.
+var topLockedBodies = []string{
+	"Premium %s pack. Reply to this thread and I will pm you the preview and link.",
+	"%s pack for sale, $10 via paypal. pm me to buy, previews on request.",
+	"Unsaturated %s set. Post a reply and I will pm the download.",
+}
+
+// Ambiguous headings keep the classification problem honest: TOPs
+// that avoid the obvious keywords, and discussions that use them.
+var topAmbiguousHeadings = []string{
+	"check out my new stuff",
+	"you guys will like this one",
+	"fresh content inside - enjoy",
+	"dropping something special today",
+	"my latest work, come get it",
+	"something for the grinders",
+}
+
+var discussionPackyHeadings = []string{
+	"are packs dead in %d",
+	"why do free packs suck - discussion",
+	"pics quality these days - rant",
+	"video vs pics - what sells better",
+	"my thoughts on unsaturated sets",
+	"the state of pack selling - opinion",
+}
+
+var requestHeadings = []string{
+	"looking for a good unsaturated pack?",
+	"[REQUEST] need a %s pack please",
+	"question about packs - where to start?",
+	"need help with my setup - any advice?",
+	"WTB fresh pack, paying with paypal",
+	"can someone give me advice on packs?",
+	"how to find unsaturated pics? question",
+	"i have a question about verification pics",
+	"need some help - customers keep asking for customs",
+	"quick question for the pros here",
+}
+
+var requestBodies = []string{
+	"Hi all, im new to this and need advice. Where do you get your packs? Any help appreciated.",
+	"Looking for a fresh pack of %s type girls, willing to buy. What do you have?",
+	"I keep getting blocked, i wonder whether my pics are saturated. help please!",
+	"Need a pack with verification templates, can anyone help me out? Will rep.",
+}
+
+var tutorialHeadings = []string{
+	"[TUT] the definite guide to ewhoring in %d",
+	"complete ewhoring guide for beginners",
+	"how-to: from zero to $100 a day - guide",
+	"my ewhoring tutorial - everything you need",
+	"[GUIDE] advanced methods %d edition",
+}
+
+var tutorialBodies = []string{
+	"In this guide i will explain everything: getting packs, making accounts, finding customers and cashing out. Step one...",
+	"Definite tutorial. First, get a good unsaturated pack. Second, set up your accounts. Third, profit. Details below.",
+}
+
+var earningsHeadings = []string{
+	"post your earnings - %d edition",
+	"how much do you make a day?",
+	"my profit proof - first week",
+	"earnings thread - share your gains",
+	"made my first $100 - proof inside",
+	"monthly earnings check - how much you make?",
+}
+
+var earningsBodies = []string{
+	"Heres my proof for this week: %s not bad for a few hours of work!",
+	"Screenshot of my earnings: %s AMA about my method.",
+	"Proof of todays profit: %s keep grinding guys.",
+	"My gains this month: %s started from nothing.",
+}
+
+var discussionHeadings = []string{
+	"is ewhoring dead in %d?",
+	"ewhoring morality discussion",
+	"best sites to find customers these days",
+	"do you feel bad about ewhoring?",
+	"ewhoring vs other money methods",
+	"police risks of ewhoring - discussion",
+	"why ewhoring is banned here - discussion",
+	"ewhoring stories - share your weirdest customer",
+}
+
+var discussionBodies = []string{
+	"Just wondering what everyone thinks about the state of things lately. Seems harder than in the old days.",
+	"Been doing this for a while and wanted to hear other opinions. Discuss.",
+	"Mods keep removing packs but the discussions stay. What do you all think?",
+}
+
+var replyBodies = []string{
+	"thanks for the share!",
+	"downloading now, looks great",
+	"amazing pack, thank you",
+	"just downloaded, rep given",
+	"this is saturated af, seen it everywhere",
+	"pm sent",
+	"bump for a great thread",
+	"anyone got a mirror? link is dead",
+	"thanks man, exactly what i needed",
+	"wow she is gorgeous, thanks",
+	"good looking out, downloading",
+	"can you add more vids?",
+	"first one didnt work, second link fine",
+	"appreciated, will use carefully",
+	"great guide, learned a lot",
+	"made $50 today with this, thanks",
+	"how do you handle verification requests?",
+	"nice earnings, what platform do you use?",
+	"congrats on the profit",
+	"thats insane money, teach me",
+}
+
+var ageConcernReplies = []string{
+	"you have to take the image down. She is 100% under age, just look at her!! And thanks for the share anyway",
+	"is the model in this pack even 18? careful with this stuff",
+	"delete this, she looks way too young",
+}
+
+var exchangeHaveTokens = map[string][]string{
+	"PayPal": {"PayPal", "PP", "paypal balance", "$50 PayPal"},
+	"BTC":    {"BTC", "bitcoin", "0.05 BTC"},
+	"AGC":    {"AGC", "amazon gift card", "Amazon GC", "$100 amazon"},
+	"?":      {"??? make offer", "anything ?", "best offer ?"},
+	"others": {"skrill", "venmo", "steam wallet", "LTC"},
+}
+
+// fillHeading instantiates a heading template with deterministic
+// values.
+func fillHeading(rng *randx.Rand, tmpl string) string {
+	n := strings.Count(tmpl, "%")
+	switch n {
+	case 0:
+		return tmpl
+	case 1:
+		if strings.Contains(tmpl, "%d") {
+			return fmt.Sprintf(tmpl, 2010+rng.Intn(10))
+		}
+		return fmt.Sprintf(tmpl, randx.Pick(rng, modelNames))
+	case 2:
+		if strings.Contains(tmpl, "%s") {
+			return fmt.Sprintf(tmpl, randx.Pick(rng, modelNames), 20+rng.Intn(200))
+		}
+		return fmt.Sprintf(tmpl, 20+rng.Intn(200), 1+rng.Intn(9))
+	default:
+		return fmt.Sprintf(tmpl, randx.Pick(rng, modelNames), 20+rng.Intn(200), 1+rng.Intn(9))
+	}
+}

@@ -1,0 +1,250 @@
+// Package urlx implements §4.2's link handling: URL extraction from
+// post bodies with regular expressions, a whitelist of known
+// image-sharing sites (pack previews) and cloud-storage services (the
+// packs themselves), and the snowball-sampling procedure that grows
+// the whitelist ("starting with a known set of domains, we parse all
+// URLs extracted from the TOPs, and manually analyse a subset of the
+// domains that do not belong to the whitelist, visiting their landing
+// sites").
+package urlx
+
+import (
+	"net/url"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// urlRe matches http/https URLs inside free-form forum text.
+var urlRe = regexp.MustCompile(`https?://[^\s<>"'\)\]\}]+`)
+
+// Extract returns every URL in the text, in order of appearance, with
+// trailing punctuation trimmed. Duplicates are preserved (a post may
+// link the same pack twice; the caller decides whether to dedupe).
+func Extract(text string) []string {
+	raw := urlRe.FindAllString(text, -1)
+	out := make([]string, 0, len(raw))
+	for _, u := range raw {
+		u = strings.TrimRight(u, ".,;:!?")
+		if u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Domain returns the lowercased host of a URL (without port), or ""
+// if the URL does not parse.
+func Domain(raw string) string {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return ""
+	}
+	return strings.ToLower(u.Hostname())
+}
+
+// Kind classifies a whitelisted domain.
+type Kind int
+
+// Whitelist kinds.
+const (
+	KindUnknown Kind = iota
+	// KindImageSharing hosts single images — where pack previews and
+	// proof-of-earnings screenshots live.
+	KindImageSharing
+	// KindCloudStorage hosts files — where the packs themselves live.
+	KindCloudStorage
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindImageSharing:
+		return "image sharing"
+	case KindCloudStorage:
+		return "cloud storage"
+	default:
+		return "unknown"
+	}
+}
+
+// ImageSharingSites lists the image-sharing domains of Table 3, in the
+// paper's popularity order.
+var ImageSharingSites = []string{
+	"imgur.com", "gyazo.com", "imageshack.com", "prnt.sc",
+	"photobucket.com", "imagetwist.com", "imagezilla.net",
+	"minus.com", "postimage.org", "imagebam.com",
+}
+
+// CloudStorageSites lists the cloud-storage domains of Table 4, in the
+// paper's popularity order.
+var CloudStorageSites = []string{
+	"mediafire.com", "mega.nz", "dropbox.com", "oron.com",
+	"depositfiles.com", "filefactory.com", "drive.google.com",
+	"ge.tt", "zippyshare.com", "filedropper.com",
+}
+
+// Whitelist maps domains to their kind. Not safe for concurrent
+// mutation.
+type Whitelist struct {
+	domains map[string]Kind
+}
+
+// NewWhitelist returns an empty whitelist.
+func NewWhitelist() *Whitelist {
+	return &Whitelist{domains: make(map[string]Kind)}
+}
+
+// DefaultWhitelist returns the seed whitelist: the well-known sites of
+// Tables 3 and 4 (before snowball expansion).
+func DefaultWhitelist() *Whitelist {
+	w := NewWhitelist()
+	for _, d := range ImageSharingSites {
+		w.Add(d, KindImageSharing)
+	}
+	for _, d := range CloudStorageSites {
+		w.Add(d, KindCloudStorage)
+	}
+	return w
+}
+
+// Add registers a domain (lowercased) under a kind.
+func (w *Whitelist) Add(domain string, k Kind) {
+	w.domains[strings.ToLower(domain)] = k
+}
+
+// Kind returns the kind of a domain and whether it is whitelisted.
+func (w *Whitelist) Kind(domain string) (Kind, bool) {
+	k, ok := w.domains[strings.ToLower(domain)]
+	return k, ok
+}
+
+// Len returns the number of whitelisted domains.
+func (w *Whitelist) Len() int { return len(w.domains) }
+
+// Domains returns all whitelisted domains of a kind, sorted.
+func (w *Whitelist) Domains(k Kind) []string {
+	var out []string
+	for d, kk := range w.domains {
+		if kk == k {
+			out = append(out, d)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Link is one classified URL.
+type Link struct {
+	URL    string
+	Domain string
+	Kind   Kind
+}
+
+// Classify resolves a URL against the whitelist.
+func (w *Whitelist) Classify(raw string) Link {
+	d := Domain(raw)
+	k, ok := w.domains[d]
+	if !ok {
+		k = KindUnknown
+	}
+	return Link{URL: raw, Domain: d, Kind: k}
+}
+
+// ClassifyAll classifies a batch of URLs.
+func (w *Whitelist) ClassifyAll(raw []string) []Link {
+	out := make([]Link, len(raw))
+	for i, u := range raw {
+		out[i] = w.Classify(u)
+	}
+	return out
+}
+
+// CountByDomain tallies links of the given kind per domain — the shape
+// of Tables 3 and 4.
+func CountByDomain(links []Link, k Kind) map[string]int {
+	out := make(map[string]int)
+	for _, l := range links {
+		if l.Kind == k {
+			out[l.Domain]++
+		}
+	}
+	return out
+}
+
+// DomainCount is a (domain, count) pair for sorted reporting.
+type DomainCount struct {
+	Domain string
+	Count  int
+}
+
+// SortedCounts converts a tally into descending-count order (ties
+// alphabetical), as the paper's tables print them.
+func SortedCounts(tally map[string]int) []DomainCount {
+	out := make([]DomainCount, 0, len(tally))
+	for d, c := range tally {
+		out = append(out, DomainCount{Domain: d, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return out
+}
+
+// VisitFunc inspects an unknown domain's landing site and reports what
+// kind of site it is. In the study this was a manual step; the
+// simulation wires it to the hosting substrate.
+type VisitFunc func(domain string) (Kind, bool)
+
+// Snowball expands the whitelist from a URL corpus: every round it
+// visits the domains not yet whitelisted, adds those recognised as
+// image-sharing or cloud-storage, and stops when a round adds nothing
+// (or after maxRounds). It returns the number of domains added.
+func Snowball(w *Whitelist, urls []string, visit VisitFunc, maxRounds int) int {
+	if maxRounds <= 0 {
+		maxRounds = 5
+	}
+	added := 0
+	visited := make(map[string]struct{})
+	for round := 0; round < maxRounds; round++ {
+		// Collect unknown domains, deterministically ordered.
+		unknown := make(map[string]struct{})
+		for _, raw := range urls {
+			d := Domain(raw)
+			if d == "" {
+				continue
+			}
+			if _, ok := w.domains[d]; ok {
+				continue
+			}
+			if _, seen := visited[d]; seen {
+				continue
+			}
+			unknown[d] = struct{}{}
+		}
+		if len(unknown) == 0 {
+			return added
+		}
+		order := make([]string, 0, len(unknown))
+		for d := range unknown {
+			order = append(order, d)
+		}
+		sort.Strings(order)
+		addedThisRound := 0
+		for _, d := range order {
+			visited[d] = struct{}{}
+			if k, ok := visit(d); ok && k != KindUnknown {
+				w.Add(d, k)
+				added++
+				addedThisRound++
+			}
+		}
+		if addedThisRound == 0 {
+			return added
+		}
+	}
+	return added
+}
