@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: verify vet build test bench-smoke bench
+
+verify: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# One iteration of the sequential/concurrent full-study pair — fast
+# sanity that the engine runs end to end.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=StudyRun -benchtime=1x .
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .

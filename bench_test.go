@@ -463,6 +463,44 @@ func BenchmarkFullStudy(b *testing.B) {
 	}
 }
 
+// studyRunOptions sizes the Run benchmarks: large enough that the
+// stage work dominates setup, identical for both paths so the pair
+// measures the engine alone (DESIGN.md §3).
+func studyRunOptions() core.Options {
+	return core.Options{
+		Synth:          synth.Config{Seed: 2019, Scale: 0.03},
+		AnnotationSize: 500,
+	}
+}
+
+// BenchmarkStudyRunSequential is the stage-by-stage reference cost of
+// the full Figure 1 pipeline plus the §5/§6 analyses.
+func BenchmarkStudyRunSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		study := core.NewStudy(studyRunOptions())
+		b.StartTimer()
+		if _, err := study.RunSequential(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStudyRunConcurrent runs the identical study through the
+// concurrent stage engine — the speedup over the sequential baseline
+// is the engine's value, with results pinned identical by
+// TestConcurrentRunMatchesSequential.
+func BenchmarkStudyRunConcurrent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		study := core.NewStudy(studyRunOptions())
+		b.StartTimer()
+		if _, err := study.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // earningsPlatformSanity keeps the earnings import exercised and
 // verifies the fixture's platform mix.
 func TestBenchFixtureSanity(t *testing.T) {

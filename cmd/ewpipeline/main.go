@@ -1,10 +1,14 @@
-// Command ewpipeline runs the Figure 1 measurement pipeline step by
-// step with progress reporting — the operational view of the study,
-// as opposed to ewreport's final tables.
+// Command ewpipeline runs the Figure 1 measurement pipeline with
+// progress reporting — the operational view of the study, as opposed
+// to ewreport's final tables. By default the study runs on the
+// concurrent stage engine and prints per-stage worker counts, item
+// flows and timings; -seq runs the sequential reference
+// implementation instead (both produce identical results for the same
+// seed).
 //
 // Usage:
 //
-//	ewpipeline [-seed N] [-scale F]
+//	ewpipeline [-seed N] [-scale F] [-workers N] [-seq]
 package main
 
 import (
@@ -15,88 +19,90 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/crawler"
 	"repro/internal/synth"
 )
-
-func step(name string) func() {
-	start := time.Now()
-	fmt.Printf("==> %s\n", name)
-	return func() {
-		fmt.Printf("    done in %v\n", time.Since(start).Round(time.Millisecond))
-	}
-}
 
 func main() {
 	seed := flag.Uint64("seed", 2019, "world seed")
 	scale := flag.Float64("scale", 0.05, "corpus scale")
+	workers := flag.Int("workers", 0, "pipeline stage workers (0 = GOMAXPROCS)")
+	seq := flag.Bool("seq", false, "run the sequential reference implementation")
 	flag.Parse()
 	ctx := context.Background()
 
-	done := step("generate world")
-	study := core.NewStudy(core.Options{Synth: synth.Config{Seed: *seed, Scale: *scale}})
+	study := core.NewStudy(core.Options{
+		Synth:   synth.Config{Seed: *seed, Scale: *scale},
+		Workers: *workers,
+	})
 	defer study.Close()
-	done()
 
-	done = step("select eWhoring threads (keyword search + HF board)")
-	ew := study.SelectEWhoring()
-	fmt.Printf("    %d threads\n", len(ew))
-	done()
-
-	done = step("train hybrid TOP classifier + sweep corpus")
-	cls, err := study.TrainAndExtract(ew)
+	mode := "concurrent"
+	if *seq {
+		mode = "sequential"
+	}
+	fmt.Printf("==> running study (%s, seed=%d scale=%g)\n", mode, *seed, *scale)
+	start := time.Now()
+	var res *core.Results
+	var err error
+	if *seq {
+		res, err = study.RunSequential(ctx)
+	} else {
+		res, err = study.Run(ctx)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ewpipeline:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("    P=%.2f R=%.2f F1=%.2f; TOPs=%d (ML %d, heur %d, both %d)\n",
-		cls.Metrics.Precision(), cls.Metrics.Recall(), cls.Metrics.F1(),
-		len(cls.Extract.TOPs), cls.Extract.MLCount, cls.Extract.HeurCount, cls.Extract.BothCount)
-	done()
+	elapsed := time.Since(start).Round(time.Millisecond)
 
-	done = step("extract URLs + snowball whitelist")
-	links := study.ExtractLinks(cls.Extract.TOPs)
-	fmt.Printf("    %d tasks from %d TOPs (+%d snowballed domains)\n",
-		len(links.Tasks), links.ThreadsWithLinks, links.SnowballAdded)
-	done()
+	fmt.Printf("\n--- dataset (§3) ---\n")
+	fmt.Printf("  %d eWhoring threads across %d forums\n",
+		len(res.EWhoringThreads), len(res.Table1))
 
-	done = step("crawl over live HTTP")
-	results := study.CrawlLinks(ctx, links.Tasks)
-	st := crawler.Summarize(results)
-	fmt.Printf("    %d preview images, %d packs (%d images), %d unique\n",
+	m := res.Classifier.Metrics
+	fmt.Printf("--- TOP classifier (§4.1) ---\n")
+	fmt.Printf("  P=%.2f R=%.2f F1=%.2f; TOPs=%d (ML %d, heur %d, both %d)\n",
+		m.Precision(), m.Recall(), m.F1(),
+		len(res.Classifier.Extract.TOPs), res.Classifier.Extract.MLCount,
+		res.Classifier.Extract.HeurCount, res.Classifier.Extract.BothCount)
+
+	fmt.Printf("--- URL extraction + crawl (§4.2) ---\n")
+	fmt.Printf("  %d tasks from %d TOPs (+%d snowballed domains)\n",
+		len(res.Links.Tasks), res.Links.ThreadsWithLinks, res.Links.SnowballAdded)
+	st := res.CrawlStats
+	fmt.Printf("  %d preview images, %d packs (%d images), %d unique\n",
 		st.PreviewImages, st.PacksFetched, st.PackImages, st.UniqueImages)
-	done()
 
-	done = step("PhotoDNA filter (report + delete)")
-	safe, pdna := study.FilterAbuse(results)
-	fmt.Printf("    %d matches reported, %d URLs actioned, %d images pass\n",
-		pdna.Matches, pdna.ActionableURLs, len(safe))
-	done()
+	fmt.Printf("--- PhotoDNA filter (§4.3) ---\n")
+	fmt.Printf("  %d matches reported, %d URLs actioned\n",
+		res.PhotoDNA.Matches, res.PhotoDNA.ActionableURLs)
 
-	done = step("NSFV classification (Algorithm 1)")
-	nsfvRes := study.ClassifyNSFV(safe)
-	fmt.Printf("    %d NSFV previews, %d SFV, %d pack images\n",
-		len(nsfvRes.Previews), len(nsfvRes.SFV), len(nsfvRes.PackImages))
-	done()
+	fmt.Printf("--- NSFV classification (§4.4) ---\n")
+	fmt.Printf("  %d NSFV previews, %d SFV, %d pack images\n",
+		len(res.NSFV.Previews), len(res.NSFV.SFV), len(res.NSFV.PackImages))
 
-	done = step("reverse image search + provenance")
-	prov := study.Provenance(nsfvRes)
-	fmt.Printf("    packs: %d/%d matched; previews: %d/%d; %d domains; %d zero-match packs\n",
-		prov.Packs.Matched, prov.Packs.Total,
-		prov.Previews.Matched, prov.Previews.Total,
-		len(prov.Domains), prov.ZeroMatch)
-	done()
+	fmt.Printf("--- reverse search + provenance (§4.5) ---\n")
+	fmt.Printf("  packs: %d/%d matched; previews: %d/%d; %d domains; %d zero-match packs\n",
+		res.Provenance.Packs.Matched, res.Provenance.Packs.Total,
+		res.Provenance.Previews.Matched, res.Provenance.Previews.Total,
+		len(res.Provenance.Domains), res.Provenance.ZeroMatch)
 
-	done = step("earnings analysis (§5)")
-	earn := study.AnalyzeEarnings(ctx, ew)
-	fmt.Printf("    %d proofs by %d actors, total $%.0f\n",
-		earn.Summary.Proofs, earn.Summary.Actors, earn.Summary.TotalUSD)
-	done()
+	fmt.Printf("--- earnings (§5) ---\n")
+	fmt.Printf("  %d proofs by %d actors, total $%.0f\n",
+		res.Earnings.Summary.Proofs, res.Earnings.Summary.Actors, res.Earnings.Summary.TotalUSD)
 
-	done = step("actor analysis (§6)")
-	act := study.AnalyzeActors(ew, cls.Extract.TOPs, earn.Proofs)
-	fmt.Printf("    %d profiles, %d key actors\n", len(act.Profiles), len(act.Key.All))
-	done()
+	fmt.Printf("--- actors (§6) ---\n")
+	fmt.Printf("  %d profiles, %d key actors\n",
+		len(res.Actors.Profiles), len(res.Actors.Key.All))
 
-	fmt.Println("pipeline complete")
+	if stats := study.PipelineStats(); len(stats) > 0 {
+		fmt.Printf("\n--- pipeline stages ---\n")
+		fmt.Printf("%-18s %7s %6s %6s %12s %12s\n", "stage", "workers", "in", "out", "wall", "busy")
+		for _, sn := range stats {
+			fmt.Printf("%-18s %7d %6d %6d %12s %12s\n",
+				sn.Name, sn.Workers, sn.In, sn.Out,
+				sn.Wall.Round(time.Microsecond), sn.Busy.Round(time.Microsecond))
+		}
+	}
+	fmt.Printf("\npipeline complete in %v (%s)\n", elapsed, mode)
 }

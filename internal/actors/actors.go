@@ -97,11 +97,12 @@ func Buckets(profiles map[forum.ActorID]*Profile, thresholds []int) []BucketRow 
 	if len(thresholds) == 0 {
 		thresholds = Table8Thresholds
 	}
+	ordered := sortedProfiles(profiles)
 	rows := make([]BucketRow, len(thresholds))
 	for i, min := range thresholds {
 		var n int
 		var posts, pct, before, after float64
-		for _, p := range profiles {
+		for _, p := range ordered {
 			if p.EwPosts < min {
 				continue
 			}
@@ -132,10 +133,11 @@ type Samples struct {
 	DaysAfter  []float64
 }
 
-// CollectSamples gathers Figure 4 samples for a bucket.
+// CollectSamples gathers Figure 4 samples for a bucket, in actor-ID
+// order so the series are reproducible.
 func CollectSamples(profiles map[forum.ActorID]*Profile, minPosts int) Samples {
 	var s Samples
-	for _, p := range profiles {
+	for _, p := range sortedProfiles(profiles) {
 		if p.EwPosts < minPosts {
 			continue
 		}
@@ -145,6 +147,18 @@ func CollectSamples(profiles map[forum.ActorID]*Profile, minPosts int) Samples {
 		s.DaysAfter = append(s.DaysAfter, p.DaysAfter())
 	}
 	return s
+}
+
+// sortedProfiles returns the profiles in actor-ID order. Folds over
+// profiles must not iterate the map directly: float accumulation is
+// order-sensitive, and determinism in the seed is a study invariant.
+func sortedProfiles(profiles map[forum.ActorID]*Profile) []*Profile {
+	out := make([]*Profile, 0, len(profiles))
+	for _, p := range profiles {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Actor < out[j].Actor })
+	return out
 }
 
 // topK returns the k highest-scoring actors (score desc, ID asc).

@@ -12,6 +12,7 @@ import (
 	"net/http/httptest"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/actors"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/nsfv"
 	"repro/internal/photodna"
+	"repro/internal/pipeline"
 	"repro/internal/reverse"
 	"repro/internal/socialgraph"
 	"repro/internal/stats"
@@ -45,6 +47,10 @@ type Options struct {
 	ImagesPerPack int
 	// CrawlConcurrency bounds the crawler's workers.
 	CrawlConcurrency int
+	// Workers bounds each concurrent pipeline stage's worker pool in
+	// Run (default: GOMAXPROCS). The crawl stage uses
+	// CrawlConcurrency.
+	Workers int
 }
 
 // DefaultOptions returns the study's standard parameters.
@@ -70,7 +76,11 @@ type Study struct {
 	// Hotline collects PhotoDNA reports.
 	Hotline *photodna.Hotline
 
-	server *httptest.Server
+	serverMu sync.Mutex
+	server   *httptest.Server
+
+	// stats holds the stage metrics of the most recent concurrent Run.
+	stats *pipeline.Stats
 }
 
 // NewStudy generates the world and prepares the study.
@@ -97,18 +107,30 @@ func NewStudy(opts Options) *Study {
 
 // Close shuts down the embedded hosting server if one was started.
 func (s *Study) Close() {
+	s.serverMu.Lock()
+	defer s.serverMu.Unlock()
 	if s.server != nil {
 		s.server.Close()
 		s.server = nil
 	}
 }
 
-// hostingServer lazily starts the hosting world as a live HTTP server.
+// hostingServer lazily starts the hosting world as a live HTTP
+// server. Safe for concurrent use: the image and earnings branches of
+// the concurrent Run both crawl against it.
 func (s *Study) hostingServer() *httptest.Server {
+	s.serverMu.Lock()
+	defer s.serverMu.Unlock()
 	if s.server == nil {
 		s.server = httptest.NewServer(s.World.Web)
 	}
 	return s.server
+}
+
+// PipelineStats returns the per-stage metrics of the most recent
+// concurrent Run (nil before the first Run, or after RunSequential).
+func (s *Study) PipelineStats() []pipeline.StageSnapshot {
+	return s.stats.Snapshot()
 }
 
 // --- Step 0: dataset selection (§3, Table 1) ---------------------------
@@ -160,7 +182,14 @@ func (s *Study) ForumOverview(ew []forum.ThreadID) []ForumOverviewRow {
 		row.Actors = len(actorsSeen[fid])
 		rows = append(rows, *row)
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Threads > rows[j].Threads })
+	// Ties broken by name so the table is deterministic: rows are
+	// assembled from a map.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Threads != rows[j].Threads {
+			return rows[i].Threads > rows[j].Threads
+		}
+		return rows[i].Forum < rows[j].Forum
+	})
 	return rows
 }
 
@@ -302,33 +331,66 @@ type SafeImage struct {
 // filter. Matches are reported to the hotline (with reverse-search URL
 // reports, as in §4.3) and withheld from the returned set.
 func (s *Study) FilterAbuse(results []crawler.Result) ([]SafeImage, photodna.ActionSummary) {
-	filter := photodna.NewFilter(s.World.HashList, s.Hotline)
+	return s.filterAbuseInto(results, s.Hotline)
+}
+
+// filterAbuseInto is FilterAbuse reporting to an explicit hotline —
+// the concurrent Run gives each branch its own so the §4.3 summary
+// stays independent of branch interleaving.
+func (s *Study) filterAbuseInto(results []crawler.Result, hotline *photodna.Hotline) ([]SafeImage, photodna.ActionSummary) {
 	var safe []SafeImage
 	for _, r := range results {
-		if r.Outcome != crawler.OutcomeOK {
+		o := s.matchResult(r)
+		for _, rep := range o.reports {
+			hotline.Report(rep)
+		}
+		safe = append(safe, o.safe...)
+	}
+	return safe, hotline.Summarize()
+}
+
+// matchOutcome partitions one crawl result's images into the safe set
+// and the hotline reports its matches produced.
+type matchOutcome struct {
+	safe    []SafeImage
+	reports []photodna.MatchReport
+}
+
+// matchResult runs the PhotoDNA gate over one crawl result. Each image
+// is hashed exactly once; matches carry the URLs where reverse search
+// finds the same image. Pure: reporting is the caller's job, so the
+// gate can fan out across workers while reports are filed in task
+// order.
+func (s *Study) matchResult(r crawler.Result) matchOutcome {
+	var o matchOutcome
+	if r.Outcome != crawler.OutcomeOK {
+		return o
+	}
+	for _, im := range r.Images {
+		h := photodna.HashImage(im)
+		entry, matched := s.World.HashList.MatchHash(h)
+		if !matched {
+			o.safe = append(o.safe, SafeImage{Image: im, Task: r.Task, IsPack: r.IsPack})
 			continue
 		}
-		for _, im := range r.Images {
-			entry, matched := s.World.HashList.Match(im)
-			if !matched {
-				safe = append(safe, SafeImage{Image: im, Task: r.Task, IsPack: r.IsPack})
-				continue
-			}
-			// Report with the URLs where reverse search finds the
-			// same image.
-			var urlReports []photodna.URLReport
-			for _, m := range s.World.Reverse.Search(im) {
-				urlReports = append(urlReports, photodna.URLReport{
-					URL:      m.URL,
-					Region:   s.World.RegionOf(m.Domain),
-					SiteType: s.World.SiteTypeOf(m.Domain),
-				})
-			}
-			_ = entry
-			filter.Check(im, int(r.Task.Thread), int(r.Task.Post), urlReports)
+		// Report with the URLs where reverse search finds the same
+		// image, reusing the hash already computed for the gate.
+		var urlReports []photodna.URLReport
+		for _, m := range s.World.Reverse.SearchHash(h) {
+			urlReports = append(urlReports, photodna.URLReport{
+				URL:      m.URL,
+				Region:   s.World.RegionOf(m.Domain),
+				SiteType: s.World.SiteTypeOf(m.Domain),
+			})
 		}
+		o.reports = append(o.reports, photodna.MatchReport{
+			Entry:        entry,
+			SourceThread: int(r.Task.Thread),
+			SourcePost:   int(r.Task.Post),
+			URLs:         urlReports,
+		})
 	}
-	return safe, s.Hotline.Summarize()
+	return o
 }
 
 // --- Step 5: NSFV classification (§4.4) ----------------------------------
@@ -386,59 +448,112 @@ type ProvenanceResult struct {
 // checks Seen-Before against crawl dates and the Wayback archive, and
 // classifies the matched domains with the three classifiers.
 func (s *Study) Provenance(n NSFVResult) ProvenanceResult {
-	store := s.World.Store
-	domains := make(map[string]struct{})
-
-	postDate := func(t crawler.Task) time.Time {
-		return store.Post(t.Post).Created
+	f := newProvFold()
+	for _, si := range samplePackImages(n.PackImages, s.Opts.ImagesPerPack) {
+		f.addPack(s.searchImage(si))
 	}
-	searchAll := func(images []SafeImage, row *ReverseRow) map[forum.ThreadID][]int {
-		matchedPerThread := make(map[forum.ThreadID][]int)
-		for _, si := range images {
-			row.Total++
-			matches := s.World.Reverse.Search(si.Image)
-			matchedPerThread[si.Task.Thread] = append(matchedPerThread[si.Task.Thread], len(matches))
-			if len(matches) == 0 {
-				continue
-			}
-			row.Matched++
-			row.AvgMatches += float64(len(matches))
-			if len(matches) > row.MaxMatches {
-				row.MaxMatches = len(matches)
-			}
-			seen := reverse.SeenBefore(matches, postDate(si.Task))
-			if !seen {
-				for _, m := range matches {
-					if s.World.Wayback.SeenBefore(m.URL, postDate(si.Task)) {
-						seen = true
-						break
-					}
-				}
-			}
-			if seen {
-				row.SeenBefore++
-			}
-			for _, m := range matches {
-				domains[m.Domain] = struct{}{}
+	for _, si := range n.Previews {
+		f.addPreview(s.searchImage(si))
+	}
+	return f.finish(s)
+}
+
+// searchOutcome is the per-image part of provenance: the reverse-search
+// and Seen-Before result for one image. Pure, so the search can fan
+// out across workers while rows fold in image order.
+type searchOutcome struct {
+	thread  forum.ThreadID
+	matches int
+	seen    bool
+	domains []string
+}
+
+// searchImage reverse-searches one image and checks Seen-Before
+// against the post date and the Wayback archive.
+func (s *Study) searchImage(si SafeImage) searchOutcome {
+	posted := s.World.Store.Post(si.Task.Post).Created
+	matches := s.World.Reverse.Search(si.Image)
+	o := searchOutcome{thread: si.Task.Thread, matches: len(matches)}
+	if len(matches) == 0 {
+		return o
+	}
+	o.seen = reverse.SeenBefore(matches, posted)
+	if !o.seen {
+		for _, m := range matches {
+			if s.World.Wayback.SeenBefore(m.URL, posted) {
+				o.seen = true
+				break
 			}
 		}
+	}
+	for _, m := range matches {
+		o.domains = append(o.domains, m.Domain)
+	}
+	return o
+}
+
+// provFold accumulates search outcomes into a ProvenanceResult. The
+// fold is order-sensitive (AvgMatches sums floats), so both Run paths
+// feed it the same per-row image order.
+type provFold struct {
+	res       ProvenanceResult
+	domains   map[string]struct{}
+	perThread map[forum.ThreadID][]int
+}
+
+func newProvFold() *provFold {
+	return &provFold{
+		res: ProvenanceResult{
+			Packs:    ReverseRow{Corpus: "packs"},
+			Previews: ReverseRow{Corpus: "previews"},
+		},
+		domains:   make(map[string]struct{}),
+		perThread: make(map[forum.ThreadID][]int),
+	}
+}
+
+// addPack folds a sampled pack image's outcome (tracked per thread for
+// the zero-match count).
+func (f *provFold) addPack(o searchOutcome) {
+	f.perThread[o.thread] = append(f.perThread[o.thread], o.matches)
+	f.add(&f.res.Packs, o)
+}
+
+// addPreview folds a preview image's outcome.
+func (f *provFold) addPreview(o searchOutcome) {
+	f.add(&f.res.Previews, o)
+}
+
+func (f *provFold) add(row *ReverseRow, o searchOutcome) {
+	row.Total++
+	if o.matches == 0 {
+		return
+	}
+	row.Matched++
+	row.AvgMatches += float64(o.matches)
+	if o.matches > row.MaxMatches {
+		row.MaxMatches = o.matches
+	}
+	if o.seen {
+		row.SeenBefore++
+	}
+	for _, d := range o.domains {
+		f.domains[d] = struct{}{}
+	}
+}
+
+// finish normalises the rows, counts zero-match packs and classifies
+// the matched domains.
+func (f *provFold) finish(s *Study) ProvenanceResult {
+	res := f.res
+	for _, row := range []*ReverseRow{&res.Packs, &res.Previews} {
 		if row.Matched > 0 {
 			row.AvgMatches /= float64(row.Matched)
 		}
-		return matchedPerThread
 	}
-
-	res := ProvenanceResult{
-		Packs:    ReverseRow{Corpus: "packs"},
-		Previews: ReverseRow{Corpus: "previews"},
-	}
-	sampled := samplePackImages(n.PackImages, s.Opts.ImagesPerPack)
-	perThread := searchAll(sampled, &res.Packs)
-	searchAll(n.Previews, &res.Previews)
-
 	// Zero-match packs: sampled threads whose every sampled image had
 	// zero matches.
-	for _, counts := range perThread {
+	for _, counts := range f.perThread {
 		zero := true
 		for _, c := range counts {
 			if c > 0 {
@@ -450,9 +565,8 @@ func (s *Study) Provenance(n NSFVResult) ProvenanceResult {
 			res.ZeroMatch++
 		}
 	}
-
-	res.Domains = make([]string, 0, len(domains))
-	for d := range domains {
+	res.Domains = make([]string, 0, len(f.domains))
+	for d := range f.domains {
 		res.Domains = append(res.Domains, d)
 	}
 	sort.Strings(res.Domains)
@@ -534,6 +648,13 @@ type EarningsResult struct {
 // PhotoDNA and NSFV, OCR-annotate the survivors into structured
 // proofs, and aggregate.
 func (s *Study) AnalyzeEarnings(ctx context.Context, ew []forum.ThreadID) EarningsResult {
+	return s.analyzeEarningsWith(ctx, ew, s.Hotline)
+}
+
+// analyzeEarningsWith is AnalyzeEarnings reporting PhotoDNA matches to
+// an explicit hotline, so the concurrent Run's earnings branch does
+// not perturb the image branch's §4.3 summary.
+func (s *Study) analyzeEarningsWith(ctx context.Context, ew []forum.ThreadID, hotline *photodna.Hotline) EarningsResult {
 	store := s.World.Store
 	var res EarningsResult
 
@@ -566,7 +687,7 @@ func (s *Study) AnalyzeEarnings(ctx context.Context, ew []forum.ThreadID) Earnin
 	res.URLs = len(tasks)
 
 	results := s.CrawlLinks(ctx, tasks)
-	safe, _ := s.FilterAbuse(results)
+	safe, _ := s.filterAbuseInto(results, hotline)
 	res.Downloaded = 0
 	for _, r := range results {
 		if r.Outcome == crawler.OutcomeOK {
@@ -723,9 +844,13 @@ type Results struct {
 	Actors          ActorAnalysis
 }
 
-// Run executes the complete study.
-func (s *Study) Run(ctx context.Context) (*Results, error) {
+// RunSequential executes the complete study strictly stage by stage.
+// It is the reference implementation: Run must produce identical
+// Results for the same Options, and the equivalence test holds it to
+// that.
+func (s *Study) RunSequential(ctx context.Context) (*Results, error) {
 	defer s.Close()
+	s.stats = nil
 	res := &Results{}
 	res.EWhoringThreads = s.SelectEWhoring()
 	res.Table1 = s.ForumOverview(res.EWhoringThreads)

@@ -21,6 +21,7 @@ import (
 	"repro/internal/forum"
 	"repro/internal/hosting"
 	"repro/internal/imagex"
+	"repro/internal/pipeline"
 	"repro/internal/urlx"
 )
 
@@ -170,6 +171,17 @@ feed:
 	close(idxCh)
 	wg.Wait()
 	return results
+}
+
+// CrawlStream fetches every task with bounded concurrency, delivering
+// each result on the returned channel in task order as it becomes
+// available — the channel counterpart of Crawl, for pipelines that
+// want downstream stages to start before the crawl finishes. stats
+// may be nil. If ctx is cancelled the channel closes early with the
+// remaining tasks undelivered.
+func (c *Crawler) CrawlStream(ctx context.Context, stats *pipeline.Stats, tasks []Task) <-chan Result {
+	return pipeline.Map(ctx, stats, "crawl §4.2", c.cfg.Concurrency, pipeline.Emit(ctx, tasks),
+		func(ctx context.Context, t Task) Result { return c.fetchOne(ctx, t) })
 }
 
 // fetchOne downloads and decodes one task with retries.

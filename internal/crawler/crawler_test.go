@@ -258,3 +258,55 @@ func BenchmarkCrawl100(b *testing.B) {
 		}
 	}
 }
+
+func TestCrawlStreamMatchesCrawl(t *testing.T) {
+	_, _, c := testWorld(t)
+	tasks := []Task{
+		task("https://imgur.com/live", urlx.KindImageSharing),
+		task("https://imgur.com/deleted", urlx.KindImageSharing),
+		task("https://mediafire.com/pack1", urlx.KindCloudStorage),
+		task("https://dropbox.com/wall", urlx.KindCloudStorage),
+		task("https://oron.com/x", urlx.KindCloudStorage),
+		task("https://imgur.com/tos", urlx.KindImageSharing),
+	}
+	want := c.Crawl(context.Background(), tasks)
+	var got []Result
+	for r := range c.CrawlStream(context.Background(), nil, tasks) {
+		got = append(got, r)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream delivered %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Task != want[i].Task {
+			t.Fatalf("result %d out of order: got task %+v want %+v", i, got[i].Task, want[i].Task)
+		}
+		if got[i].Outcome != want[i].Outcome || got[i].IsPack != want[i].IsPack ||
+			len(got[i].Images) != len(want[i].Images) {
+			t.Fatalf("result %d differs: got (%v, pack=%v, %d images) want (%v, pack=%v, %d images)",
+				i, got[i].Outcome, got[i].IsPack, len(got[i].Images),
+				want[i].Outcome, want[i].IsPack, len(want[i].Images))
+		}
+	}
+}
+
+func TestCrawlStreamCancel(t *testing.T) {
+	_, _, c := testWorld(t)
+	var tasks []Task
+	for i := 0; i < 200; i++ {
+		tasks = append(tasks, task("https://imgur.com/live", urlx.KindImageSharing))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := c.CrawlStream(ctx, nil, tasks)
+	n := 0
+	for range ch {
+		n++
+		if n == 3 {
+			cancel()
+		}
+	}
+	if n == len(tasks) {
+		t.Fatal("cancellation did not stop the stream")
+	}
+}

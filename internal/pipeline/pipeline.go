@@ -1,0 +1,280 @@
+// Package pipeline is a small generic concurrent stage engine: bounded
+// worker pools connected by channels, with order-preserving fan-in,
+// per-stage timing and counters, and context cancellation.
+//
+// The study's Figure 1 pipeline is rebuilt on these primitives so that
+// crawl results stream through PhotoDNA filtering, NSFV classification
+// and reverse-image search as they arrive, while the independent §5/§6
+// analyses run on a parallel branch. Determinism is the design
+// constraint: Map and FlatMap deliver outputs in input order no matter
+// how the worker pool schedules them, so a concurrent pipeline run
+// folds its results in exactly the order the sequential reference
+// implementation does.
+package pipeline
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// defaultWorkers resolves a non-positive worker count to the number of
+// usable CPUs.
+func defaultWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Emit feeds a slice into a channel, stopping early if ctx is
+// cancelled. The channel closes once every item is delivered.
+func Emit[T any](ctx context.Context, items []T) <-chan T {
+	out := make(chan T)
+	go func() {
+		defer close(out)
+		for _, v := range items {
+			select {
+			case out <- v:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Collect drains a channel into a slice, in arrival order.
+func Collect[T any](in <-chan T) []T {
+	var out []T
+	for v := range in {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Map applies fn to every input under a bounded worker pool and
+// delivers the outputs in input order: output i is never sent before
+// output i-1, regardless of which worker finished first. workers <= 0
+// means GOMAXPROCS. stats may be nil.
+//
+// On cancellation the stage drains its input (so upstream goroutines
+// can finish) and closes its output early.
+func Map[In, Out any](ctx context.Context, stats *Stats, name string, workers int, in <-chan In, fn func(context.Context, In) Out) <-chan Out {
+	workers = defaultWorkers(workers)
+	st := stats.Stage(name, workers)
+	type job struct {
+		seq int
+		v   In
+	}
+	type done struct {
+		seq int
+		v   Out
+	}
+	jobs := make(chan job)
+	results := make(chan done, workers)
+	// tokens bounds the in-flight window (dispatched but not yet
+	// emitted): one slow head-of-line item must stall the feeder, not
+	// let the reorder buffer absorb the whole remaining stream.
+	tokens := make(chan struct{}, 4*workers)
+
+	// Feeder: tag inputs with their sequence number.
+	go func() {
+		defer close(jobs)
+		seq := 0
+		for v := range in {
+			select {
+			case tokens <- struct{}{}:
+			case <-ctx.Done():
+				for range in { // unblock upstream
+				}
+				return
+			}
+			st.AddIn(1)
+			select {
+			case jobs <- job{seq, v}:
+				seq++
+			case <-ctx.Done():
+				for range in { // unblock upstream
+				}
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				start := time.Now()
+				v := fn(ctx, j.v)
+				st.AddBusy(time.Since(start))
+				select {
+				case results <- done{j.seq, v}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Reorder buffer: emit strictly by sequence number.
+	out := make(chan Out, workers)
+	go func() {
+		defer close(out)
+		defer st.Close()
+		pending := make(map[int]Out)
+		next := 0
+		for r := range results {
+			pending[r.seq] = r.v
+			for {
+				v, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				select {
+				case out <- v:
+					st.AddOut(1)
+					<-tokens
+				case <-ctx.Done():
+					for range results { // unblock workers
+					}
+					return
+				}
+			}
+		}
+	}()
+	return out
+}
+
+// FlatMap is Map for stage functions that produce zero or more outputs
+// per input; the output slices are flattened in input order.
+func FlatMap[In, Out any](ctx context.Context, stats *Stats, name string, workers int, in <-chan In, fn func(context.Context, In) []Out) <-chan Out {
+	workers = defaultWorkers(workers)
+	st := stats.Stage(name, workers)
+	timed := func(ctx context.Context, v In) []Out {
+		st.AddIn(1)
+		start := time.Now()
+		r := fn(ctx, v)
+		st.AddBusy(time.Since(start))
+		return r
+	}
+	slices := Map(ctx, nil, "", workers, in, timed)
+	out := make(chan Out, workers)
+	go func() {
+		defer close(out)
+		defer st.Close()
+		for vs := range slices {
+			for _, v := range vs {
+				select {
+				case out <- v:
+					st.AddOut(1)
+				case <-ctx.Done():
+					for range slices {
+					}
+					return
+				}
+			}
+		}
+	}()
+	return out
+}
+
+// Process runs a serial stage with explicit emission control: fn is
+// called for every input with an emit function, and flush (optional)
+// runs after the input closes — the hook for stages that buffer, such
+// as per-pack sampling. Emission order is the call order, so a Process
+// stage is deterministic by construction.
+func Process[In, Out any](ctx context.Context, stats *Stats, name string, in <-chan In, fn func(In, func(Out)), flush func(func(Out))) <-chan Out {
+	st := stats.Stage(name, 1)
+	out := make(chan Out)
+	go func() {
+		defer close(out)
+		defer st.Close()
+		cancelled := false
+		emit := func(v Out) {
+			if cancelled {
+				return
+			}
+			select {
+			case out <- v:
+				st.AddOut(1)
+			case <-ctx.Done():
+				cancelled = true
+			}
+		}
+		for v := range in {
+			if cancelled {
+				continue // drain upstream
+			}
+			st.AddIn(1)
+			start := time.Now()
+			fn(v, emit)
+			st.AddBusy(time.Since(start))
+		}
+		if flush != nil && !cancelled {
+			start := time.Now()
+			flush(emit)
+			st.AddBusy(time.Since(start))
+		}
+	}()
+	return out
+}
+
+// Tee duplicates a stream to n consumers. Every output receives every
+// item; delivery is lock-step (a slow consumer gates the others), with
+// a small buffer to decouple bursts.
+func Tee[T any](ctx context.Context, in <-chan T, n int) []<-chan T {
+	outs := make([]chan T, n)
+	ro := make([]<-chan T, n)
+	for i := range outs {
+		outs[i] = make(chan T, 64)
+		ro[i] = outs[i]
+	}
+	go func() {
+		defer func() {
+			for _, o := range outs {
+				close(o)
+			}
+		}()
+		for v := range in {
+			for _, o := range outs {
+				select {
+				case o <- v:
+				case <-ctx.Done():
+					for range in {
+					}
+					return
+				}
+			}
+		}
+	}()
+	return ro
+}
+
+// Group runs pipeline branches concurrently and waits for all of them.
+// The zero value is ready to use.
+type Group struct {
+	wg sync.WaitGroup
+}
+
+// Go starts fn as a branch.
+func (g *Group) Go(fn func()) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		fn()
+	}()
+}
+
+// Wait blocks until every branch started with Go has returned.
+func (g *Group) Wait() { g.wg.Wait() }

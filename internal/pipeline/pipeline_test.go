@@ -1,0 +1,189 @@
+package pipeline
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	ctx := context.Background()
+	items := make([]int, 500)
+	for i := range items {
+		items[i] = i
+	}
+	rng := rand.New(rand.NewSource(1))
+	delays := make([]time.Duration, len(items))
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(300)) * time.Microsecond
+	}
+	out := Collect(Map(ctx, nil, "square", 8, Emit(ctx, items), func(_ context.Context, v int) int {
+		time.Sleep(delays[v]) // scramble completion order
+		return v * v
+	}))
+	if len(out) != len(items) {
+		t.Fatalf("got %d outputs, want %d", len(out), len(items))
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d (order not preserved)", i, v, i*i)
+		}
+	}
+}
+
+func TestMapRunsConcurrently(t *testing.T) {
+	ctx := context.Background()
+	var peak, cur atomic.Int64
+	items := make([]int, 64)
+	Collect(Map(ctx, nil, "", 8, Emit(ctx, items), func(_ context.Context, v int) int {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		cur.Add(-1)
+		return v
+	}))
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrency %d, want >= 2", peak.Load())
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	items := make([]int, 10000)
+	out := Map(ctx, nil, "", 4, Emit(ctx, items), func(_ context.Context, v int) int { return v })
+	got := 0
+	for range out {
+		got++
+		if got == 10 {
+			cancel()
+		}
+	}
+	if got == len(items) {
+		t.Fatal("cancellation did not stop the stage")
+	}
+}
+
+func TestFlatMapFlattensInOrder(t *testing.T) {
+	ctx := context.Background()
+	items := []int{0, 1, 2, 3, 4}
+	out := Collect(FlatMap(ctx, nil, "", 4, Emit(ctx, items), func(_ context.Context, v int) []int {
+		r := make([]int, v)
+		for i := range r {
+			r[i] = v
+		}
+		return r // 0 items for 0, 1 for 1, ...
+	}))
+	want := []int{1, 2, 2, 3, 3, 3, 4, 4, 4, 4}
+	if len(out) != len(want) {
+		t.Fatalf("got %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestProcessFlushAfterClose(t *testing.T) {
+	ctx := context.Background()
+	var buffered []int
+	out := Collect(Process(ctx, nil, "", Emit(ctx, []int{1, 2, 3}),
+		func(v int, emit func(int)) {
+			if v%2 == 1 {
+				emit(v) // odd: pass through
+			} else {
+				buffered = append(buffered, v) // even: hold for flush
+			}
+		},
+		func(emit func(int)) {
+			for _, v := range buffered {
+				emit(v * 100)
+			}
+		}))
+	want := []int{1, 3, 200}
+	if len(out) != len(want) {
+		t.Fatalf("got %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestTeeDeliversToAll(t *testing.T) {
+	ctx := context.Background()
+	items := []int{1, 2, 3, 4, 5}
+	arms := Tee(ctx, Emit(ctx, items), 3)
+	var g Group
+	got := make([][]int, len(arms))
+	for i, arm := range arms {
+		i, arm := i, arm
+		g.Go(func() { got[i] = Collect(arm) })
+	}
+	g.Wait()
+	for i, vs := range got {
+		if len(vs) != len(items) {
+			t.Fatalf("arm %d got %v, want %v", i, vs, items)
+		}
+		for j := range items {
+			if vs[j] != items[j] {
+				t.Fatalf("arm %d out[%d] = %d, want %d", i, j, vs[j], items[j])
+			}
+		}
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	ctx := context.Background()
+	stats := NewStats()
+	items := make([]int, 100)
+	Collect(Map(ctx, stats, "work", 4, Emit(ctx, items), func(_ context.Context, v int) int {
+		time.Sleep(100 * time.Microsecond)
+		return v
+	}))
+	stats.Time("fold", func() { time.Sleep(time.Millisecond) })
+	snaps := stats.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("got %d stages, want 2", len(snaps))
+	}
+	work := snaps[0]
+	if work.Name != "work" || work.Workers != 4 {
+		t.Fatalf("bad stage header: %+v", work)
+	}
+	if work.In != 100 || work.Out != 100 {
+		t.Fatalf("in/out = %d/%d, want 100/100", work.In, work.Out)
+	}
+	if work.Busy < 10*time.Millisecond/2 {
+		t.Fatalf("busy %v implausibly low", work.Busy)
+	}
+	if work.Wall <= 0 {
+		t.Fatal("wall not recorded")
+	}
+	if snaps[1].Name != "fold" || snaps[1].In != 1 || snaps[1].Out != 1 {
+		t.Fatalf("bad timed stage: %+v", snaps[1])
+	}
+	if stats.String() == "(no stages)" {
+		t.Fatal("String rendered nothing")
+	}
+}
+
+func TestNilStatsSafe(t *testing.T) {
+	var s *Stats
+	st := s.Stage("x", 1)
+	st.AddIn(1)
+	st.AddOut(1)
+	st.AddBusy(time.Second)
+	st.Close()
+	if got := s.Snapshot(); got != nil {
+		t.Fatalf("nil stats snapshot = %v", got)
+	}
+}

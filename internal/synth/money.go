@@ -2,6 +2,7 @@ package synth
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/earnings"
@@ -213,6 +214,9 @@ func (w *World) genExchange(st *forumState) {
 			eligible = append(eligible, a)
 		}
 	}
+	// Map iteration order must not leak into rng-driven authorship:
+	// every table derives from Config.Seed alone.
+	sort.Slice(eligible, func(i, j int) bool { return eligible[i] < eligible[j] })
 	nEw := w.Config.scaled(9066, 8)
 	nBg := w.Config.scaled(6000, 5)
 	mk := func(author forum.ActorID, after, until time.Time) {
