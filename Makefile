@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: verify vet build test bench-smoke bench
+.PHONY: verify vet fmt-check build test test-race bench-smoke bench clean
 
 verify: vet build test
 
 vet:
 	$(GO) vet ./...
+
+# Lint gate: the tree must be gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -13,10 +18,18 @@ build:
 test:
 	$(GO) test ./...
 
+test-race:
+	$(GO) test -race ./...
+
 # One iteration of the sequential/concurrent full-study pair — fast
-# sanity that the engine runs end to end.
+# sanity that the engine runs end to end — emitted both as benchstat
+# input (bench_pipeline.txt) and as a JSON artifact for CI upload.
 bench-smoke:
-	$(GO) test -run='^$$' -bench=StudyRun -benchtime=1x .
+	$(GO) test -run='^$$' -bench=StudyRun -benchtime=1x . | tee bench_pipeline.txt
+	$(GO) run ./cmd/benchjson -in bench_pipeline.txt -out BENCH_pipeline.json
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
+
+clean:
+	rm -f bench_pipeline.txt BENCH_pipeline.json

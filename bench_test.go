@@ -64,11 +64,11 @@ func setup(b *testing.B) *fixture {
 		if fixErr != nil {
 			return
 		}
-		f.links = f.study.ExtractLinks(f.cls.Extract.TOPs)
+		f.links = f.study.ExtractLinks(ctx, f.cls.Extract.TOPs)
 		f.crawl = f.study.CrawlLinks(ctx, f.links.Tasks)
-		f.safe, _ = f.study.FilterAbuse(f.crawl)
+		f.safe, _ = f.study.FilterAbuse(ctx, f.crawl)
 		f.nsfv = f.study.ClassifyNSFV(f.safe)
-		f.prov = f.study.Provenance(f.nsfv)
+		f.prov = f.study.Provenance(ctx, f.nsfv)
 		f.earn = f.study.AnalyzeEarnings(ctx, f.ew)
 		f.act = f.study.AnalyzeActors(f.ew, f.cls.Extract.TOPs, f.earn.Proofs)
 		fix = f
@@ -130,9 +130,10 @@ func BenchmarkTOPClassifier(b *testing.B) {
 
 func BenchmarkTable3ImageSharingLinks(b *testing.B) {
 	f := setup(b)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		links := f.study.ExtractLinks(f.cls.Extract.TOPs)
+		links := f.study.ExtractLinks(ctx, f.cls.Extract.TOPs)
 		if len(links.ImageSharing) == 0 {
 			b.Fatal("no image-sharing links")
 		}
@@ -141,9 +142,10 @@ func BenchmarkTable3ImageSharingLinks(b *testing.B) {
 
 func BenchmarkTable4CloudStorageLinks(b *testing.B) {
 	f := setup(b)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		links := f.study.ExtractLinks(f.cls.Extract.TOPs)
+		links := f.study.ExtractLinks(ctx, f.cls.Extract.TOPs)
 		if len(links.CloudStorage) == 0 {
 			b.Fatal("no cloud-storage links")
 		}
@@ -170,11 +172,12 @@ func BenchmarkCrawl(b *testing.B) {
 
 func BenchmarkPhotoDNAFilter(b *testing.B) {
 	f := setup(b)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		hotline := f.study.Hotline
 		_ = hotline
-		safe, summary := f.study.FilterAbuse(f.crawl)
+		safe, summary := f.study.FilterAbuse(ctx, f.crawl)
 		if len(safe) == 0 || summary.Matches == 0 {
 			b.Fatal("filter degenerate")
 		}
@@ -198,9 +201,10 @@ func BenchmarkNSFVClassifier(b *testing.B) {
 
 func BenchmarkTable5ReverseSearch(b *testing.B) {
 	f := setup(b)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		prov := f.study.Provenance(f.nsfv)
+		prov := f.study.Provenance(ctx, f.nsfv)
 		if prov.Packs.Total == 0 {
 			b.Fatal("no pack searches")
 		}

@@ -1,0 +1,162 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// benchmark artifact. CI runs the StudyRun smoke pair through it and
+// uploads BENCH_pipeline.json on every push, so the perf trajectory of
+// the stage engine accumulates run over run.
+//
+// Each entry keeps the raw benchmark line verbatim: joining the `raw`
+// fields of two artifacts reconstructs files benchstat accepts, so the
+// JSON is both machine-queryable and benchstat-parseable.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=StudyRun -benchtime=1x . | benchjson [-out FILE]
+//	benchjson -in bench.txt -out BENCH_pipeline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark without the "Benchmark" prefix or -P suffix.
+	Name string `json:"name"`
+	// Procs is GOMAXPROCS at run time (the -P suffix; 1 if absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Extra holds any further unit pairs (B/op, allocs/op, ...).
+	Extra map[string]float64 `json:"extra,omitempty"`
+	// Raw is the untouched benchmark line, so the artifact can be
+	// reassembled into benchstat input.
+	Raw string `json:"raw"`
+}
+
+// Artifact is the output document.
+type Artifact struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark text input (default stdin)")
+	out := flag.String("out", "", "JSON output file (default stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	art, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(art.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found in input"))
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse reads `go test -bench` output: header key: value lines, then
+// result lines of the form
+//
+//	BenchmarkName-8   	      10	 123456789 ns/op	[more unit pairs]
+func parse(r io.Reader) (*Artifact, error) {
+	art := &Artifact{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			art.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			art.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			art.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			art.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			art.Benchmarks = append(art.Benchmarks, b)
+		}
+	}
+	return art, sc.Err()
+}
+
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, fmt.Errorf("short benchmark line %q", line)
+	}
+	b := Benchmark{Raw: line, Procs: 1}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			b.Procs = p
+			name = name[:i]
+		}
+	}
+	b.Name = name
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	b.Iterations = iters
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bad value in %q: %w", line, err)
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Extra == nil {
+			b.Extra = make(map[string]float64)
+		}
+		b.Extra[unit] = v
+	}
+	if b.NsPerOp == 0 {
+		return Benchmark{}, fmt.Errorf("no ns/op in %q", line)
+	}
+	return b, nil
+}

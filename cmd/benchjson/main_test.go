@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkStudyRunSequential-8   	       1	 244837123 ns/op
+BenchmarkStudyRunConcurrent-8   	       1	 199102456 ns/op	  512 B/op	       3 allocs/op
+PASS
+ok  	repro	1.234s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	art, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Goos != "linux" || art.Goarch != "amd64" || art.Pkg != "repro" {
+		t.Errorf("header = %+v", art)
+	}
+	if len(art.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(art.Benchmarks))
+	}
+	seq := art.Benchmarks[0]
+	if seq.Name != "StudyRunSequential" || seq.Procs != 8 || seq.Iterations != 1 || seq.NsPerOp != 244837123 {
+		t.Errorf("sequential = %+v", seq)
+	}
+	conc := art.Benchmarks[1]
+	if conc.NsPerOp != 199102456 || conc.Extra["B/op"] != 512 || conc.Extra["allocs/op"] != 3 {
+		t.Errorf("concurrent = %+v", conc)
+	}
+	// Raw lines reconstruct benchstat-compatible input.
+	if !strings.HasPrefix(seq.Raw, "BenchmarkStudyRunSequential-8") || !strings.Contains(seq.Raw, "ns/op") {
+		t.Errorf("raw line mangled: %q", seq.Raw)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkBroken-8 notanumber 5 ns/op\n")); err == nil {
+		t.Error("bad iteration count accepted")
+	}
+	if _, err := parse(strings.NewReader("BenchmarkNoNs-8 1 77 MB/s\n")); err == nil {
+		t.Error("line without ns/op accepted")
+	}
+}

@@ -6,9 +6,14 @@
 // implementation instead (both produce identical results for the same
 // seed).
 //
+// With -remote the study is not run in-process at all: the options are
+// POSTed to a live study service (cmd/ewserve's -study address) and
+// the server's summary, stage table and cache verdict are printed.
+//
 // Usage:
 //
 //	ewpipeline [-seed N] [-scale F] [-workers N] [-seq]
+//	ewpipeline -remote http://127.0.0.1:8084 [-seed N] [-scale F] [-workers N]
 package main
 
 import (
@@ -19,6 +24,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/studysvc"
 	"repro/internal/synth"
 )
 
@@ -27,8 +34,23 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "corpus scale")
 	workers := flag.Int("workers", 0, "pipeline stage workers (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "run the sequential reference implementation")
+	remote := flag.String("remote", "", "drive a live study service at this base URL instead of running in-process")
 	flag.Parse()
 	ctx := context.Background()
+
+	if *remote != "" {
+		if *seq {
+			fmt.Fprintln(os.Stderr, "ewpipeline: -seq and -remote are mutually exclusive (the service runs the concurrent engine)")
+			os.Exit(1)
+		}
+		if err := runRemote(ctx, *remote, studysvc.Request{
+			Seed: *seed, Scale: *scale, Workers: *workers,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "ewpipeline:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	study := core.NewStudy(core.Options{
 		Synth:   synth.Config{Seed: *seed, Scale: *scale},
@@ -95,14 +117,56 @@ func main() {
 	fmt.Printf("  %d profiles, %d key actors\n",
 		len(res.Actors.Profiles), len(res.Actors.Key.All))
 
-	if stats := study.PipelineStats(); len(stats) > 0 {
-		fmt.Printf("\n--- pipeline stages ---\n")
-		fmt.Printf("%-18s %7s %6s %6s %12s %12s\n", "stage", "workers", "in", "out", "wall", "busy")
-		for _, sn := range stats {
-			fmt.Printf("%-18s %7d %6d %6d %12s %12s\n",
-				sn.Name, sn.Workers, sn.In, sn.Out,
-				sn.Wall.Round(time.Microsecond), sn.Busy.Round(time.Microsecond))
-		}
-	}
+	printStages("pipeline stages", study.PipelineStats())
 	fmt.Printf("\npipeline complete in %v (%s)\n", elapsed, mode)
+}
+
+// printStages renders a stage-snapshot table (no-op when empty).
+func printStages(title string, snaps []pipeline.StageSnapshot) {
+	if len(snaps) == 0 {
+		return
+	}
+	fmt.Printf("\n--- %s ---\n", title)
+	fmt.Printf("%-18s %7s %6s %6s %12s %12s\n", "stage", "workers", "in", "out", "wall", "busy")
+	for _, sn := range snaps {
+		fmt.Printf("%-18s %7d %6d %6d %12s %12s\n",
+			sn.Name, sn.Workers, sn.In, sn.Out,
+			sn.Wall.Round(time.Microsecond), sn.Busy.Round(time.Microsecond))
+	}
+}
+
+// runRemote drives one study against a live service and prints the
+// server's view of it.
+func runRemote(ctx context.Context, baseURL string, req studysvc.Request) error {
+	fmt.Printf("==> running study via %s (seed=%d scale=%g)\n", baseURL, req.Seed, req.Scale)
+	start := time.Now()
+	c := studysvc.NewClient(baseURL, nil)
+	env, err := c.Run(ctx, req)
+	if err != nil {
+		return err
+	}
+	if env.Status != studysvc.StatusDone {
+		return fmt.Errorf("run %s %s: %s", env.ID, env.Status, env.Error)
+	}
+	verdict := "executed on the server"
+	if env.Cached {
+		verdict = "served from the result cache"
+	}
+	fmt.Printf("run %s: %s (server time %dms, round trip %v)\n",
+		env.ID, verdict, env.ElapsedMS, time.Since(start).Round(time.Millisecond))
+
+	s := env.Summary
+	fmt.Printf("\n--- dataset (§3) ---\n")
+	fmt.Printf("  %d eWhoring threads across %d forums\n", s.EWhoringThreads, s.Forums)
+	fmt.Printf("--- pipeline (§4) ---\n")
+	fmt.Printf("  %d TOPs, %d crawl tasks, %d unique images\n", s.TOPs, s.CrawlTasks, s.UniqueImages)
+	fmt.Printf("  %d PhotoDNA matches, %d NSFV previews\n", s.PhotoDNAMatches, s.NSFVPreviews)
+	fmt.Printf("  reverse: packs %d/%d, previews %d/%d, %d domains\n",
+		s.PacksMatched, s.PacksTotal, s.PreviewsMatched, s.PreviewsTotal, s.MatchedDomains)
+	fmt.Printf("--- economy (§5-§6) ---\n")
+	fmt.Printf("  %d proofs totalling $%.0f, %d profiles, %d key actors\n",
+		s.Proofs, s.TotalUSD, s.Profiles, s.KeyActors)
+
+	printStages("pipeline stages (server)", env.Stages)
+	return nil
 }

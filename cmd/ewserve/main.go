@@ -1,23 +1,39 @@
-// Command ewserve runs the study's simulated web substrate as live
-// HTTP services: the hosting world (image-sharing + cloud-storage
-// sites), the reverse image search and the Wayback archive. Useful for
-// poking the substrate with curl or wiring external tooling against
-// it.
+// Command ewserve runs the study's simulated web substrate AND the
+// study itself as live HTTP services: the hosting world (image-sharing
+// + cloud-storage sites), the reverse image search, the Wayback
+// archive, and the study service (POST /v1/study — cached, coalesced,
+// bounded; see internal/studysvc). Together they make the full
+// measurement remotely drivable: point cmd/ewpipeline -remote at the
+// study address, or a crawler.HTTPClient at the substrate addresses.
 //
 // Usage:
 //
-//	ewserve [-seed N] [-scale F] [-hosting :8081] [-reverse :8082] [-wayback :8083]
+//	ewserve [-seed N] [-scale F]
+//	        [-hosting :8081] [-reverse :8082] [-wayback :8083] [-study :8084]
+//	        [-study-runs N] [-study-cache N] [-study-max-scale F]
+//	        [-shutdown-timeout 10s]
+//
+// Lifecycle: all listeners are opened before anything serves, so a bad
+// address fails the process immediately. A failed server tears the
+// whole process down cleanly through the error group. On SIGINT or
+// SIGTERM every server gets a graceful shutdown bounded by
+// -shutdown-timeout; a second signal kills the process immediately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
+	"repro/internal/pipeline"
 	"repro/internal/reverse"
+	"repro/internal/studysvc"
 	"repro/internal/synth"
 	"repro/internal/wayback"
 )
@@ -28,6 +44,11 @@ func main() {
 	hostingAddr := flag.String("hosting", "127.0.0.1:8081", "hosting world listen address")
 	reverseAddr := flag.String("reverse", "127.0.0.1:8082", "reverse image search listen address")
 	waybackAddr := flag.String("wayback", "127.0.0.1:8083", "wayback archive listen address")
+	studyAddr := flag.String("study", "127.0.0.1:8084", "study service listen address (empty disables)")
+	studyRuns := flag.Int("study-runs", 2, "max concurrent study runs")
+	studyCache := flag.Int("study-cache", 16, "study result cache size (LRU)")
+	studyMaxScale := flag.Float64("study-max-scale", 0.25, "largest scale the study service accepts")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown deadline")
 	flag.Parse()
 
 	start := time.Now()
@@ -35,29 +56,84 @@ func main() {
 	fmt.Printf("world ready in %v (%d reverse records, %d archived URLs)\n",
 		time.Since(start).Round(time.Millisecond), w.Reverse.Len(), w.Wayback.NumURLs())
 
-	serve := func(name, addr string, h http.Handler) *http.Server {
-		srv := &http.Server{Addr: addr, Handler: h, ReadHeaderTimeout: 5 * time.Second}
-		go func() {
-			fmt.Printf("%s listening on http://%s\n", name, addr)
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-				os.Exit(1)
-			}
-		}()
-		return srv
+	type service struct {
+		name string
+		addr string
+		h    http.Handler
 	}
-	servers := []*http.Server{
-		serve("hosting", *hostingAddr, w.Web),
-		serve("reverse", *reverseAddr, reverse.Handler(w.Reverse)),
-		serve("wayback", *waybackAddr, wayback.Handler(w.Wayback)),
+	services := []service{
+		{"hosting", *hostingAddr, w.Web},
+		{"reverse", *reverseAddr, reverse.Handler(w.Reverse)},
+		{"wayback", *waybackAddr, wayback.Handler(w.Wayback)},
 	}
-	fmt.Println("example: curl http://" + *hostingAddr + "/imgur.com/landing")
-	fmt.Println("Ctrl-C to stop")
+	if *studyAddr != "" {
+		svc := studysvc.New(studysvc.Config{
+			MaxConcurrentRuns: *studyRuns,
+			CacheSize:         *studyCache,
+			MaxScale:          *studyMaxScale,
+		})
+		services = append(services, service{"study", *studyAddr, svc.Handler()})
+	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	for _, srv := range servers {
-		srv.Close()
+	// Open every listener before serving anything: a bad address fails
+	// the process now, not from a goroutine later.
+	servers := make([]*http.Server, 0, len(services))
+	listeners := make([]net.Listener, 0, len(services))
+	for _, s := range services {
+		ln, err := net.Listen("tcp", s.addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ewserve: %s: %v\n", s.name, err)
+			for _, open := range listeners {
+				open.Close()
+			}
+			os.Exit(1)
+		}
+		listeners = append(listeners, ln)
+		servers = append(servers, &http.Server{Handler: s.h, ReadHeaderTimeout: 5 * time.Second})
+		fmt.Printf("%s listening on http://%s\n", s.name, ln.Addr())
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	g, gctx := pipeline.NewErrGroup(ctx)
+	for i := range servers {
+		srv, name, ln := servers[i], services[i].name, listeners[i]
+		g.Go(func() error {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			return nil
+		})
+	}
+	// Shutdown watcher: a signal or any failed server cancels gctx;
+	// every server then gets a graceful shutdown with a deadline.
+	g.Go(func() error {
+		<-gctx.Done()
+		// Restore default signal handling: a second Ctrl-C now kills
+		// the process immediately instead of being swallowed.
+		stop()
+		fmt.Println("\nshutting down...")
+		shctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		var firstErr error
+		for i, srv := range servers {
+			if err := srv.Shutdown(shctx); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s shutdown: %w", services[i].name, err)
+			}
+		}
+		return firstErr
+	})
+
+	fmt.Println("example: curl http://" + *hostingAddr + "/imgur.com/landing")
+	if *studyAddr != "" {
+		fmt.Printf("example: curl -X POST http://%s/v1/study -d '{\"seed\":2019,\"scale\":0.02}'\n", *studyAddr)
+	}
+	fmt.Println("Ctrl-C to stop (twice to force)")
+
+	if err := g.Wait(); err != nil {
+		fmt.Fprintln(os.Stderr, "ewserve:", err)
+		os.Exit(1)
+	}
+	fmt.Println("all servers stopped")
 }

@@ -31,7 +31,7 @@ func main() {
 	fmt.Printf("hybrid classifier: P=%.2f R=%.2f → %d TOPs\n",
 		cls.Metrics.Precision(), cls.Metrics.Recall(), len(cls.Extract.TOPs))
 
-	links := study.ExtractLinks(cls.Extract.TOPs)
+	links := study.ExtractLinks(ctx, cls.Extract.TOPs)
 	fmt.Printf("link extraction: %d whitelisted links from %d TOPs\n",
 		len(links.Tasks), links.ThreadsWithLinks)
 	fmt.Println("top image-sharing sites:")
@@ -47,14 +47,14 @@ func main() {
 	fmt.Printf("crawl: %v\n", st.OutcomeCounts())
 	fmt.Printf("downloaded %d images (%d packs)\n", st.ImagesFetched, st.PacksFetched)
 
-	safe, pdna := study.FilterAbuse(results)
+	safe, pdna := study.FilterAbuse(ctx, results)
 	fmt.Printf("PhotoDNA: %d matches reported and deleted; %s\n", pdna.Matches, pdna.String())
 
 	nsfvRes := study.ClassifyNSFV(safe)
 	fmt.Printf("NSFV: %d previews, %d safe-for-viewing\n",
 		len(nsfvRes.Previews), len(nsfvRes.SFV))
 
-	prov := study.Provenance(nsfvRes)
+	prov := study.Provenance(ctx, nsfvRes)
 	fmt.Printf("reverse search: packs %d/%d matched (%d seen before posting)\n",
 		prov.Packs.Matched, prov.Packs.Total, prov.Packs.SeenBefore)
 	fmt.Printf("matched domains: %d; zero-match packs: %d\n",

@@ -39,7 +39,7 @@ func (s *Study) Run(ctx context.Context) (*Results, error) {
 	for i := range res.Table1 {
 		res.Table1[i].TOPs = cls.TOPsByForum[res.Table1[i].Forum]
 	}
-	st.Time("extract urls §4.2", func() { res.Links = s.ExtractLinks(cls.Extract.TOPs) })
+	st.Time("extract urls §4.2", func() { res.Links = s.ExtractLinks(ctx, cls.Extract.TOPs) })
 
 	// The image branch (§4.2–§4.5) and the financial/actor branch
 	// (§5–§6) share no data, so they run in parallel. Each files
@@ -109,10 +109,7 @@ type provSearched struct {
 // stages run in task order, so the fold sees exactly the sequence the
 // sequential path produces.
 func (s *Study) runImageBranch(ctx context.Context, st *pipeline.Stats, res *Results, hotline *photodna.Hotline) {
-	srv := s.hostingServer()
-	c := crawler.New(crawler.Config{Concurrency: s.Opts.CrawlConcurrency},
-		srv.Client(), s.World.Web.Resolver(srv.URL))
-	crawled := c.CrawlStream(ctx, st, res.Links.Tasks)
+	crawled := s.backend.CrawlStream(ctx, st, res.Links.Tasks)
 	arms := pipeline.Tee(ctx, crawled, 2)
 
 	// Crawl statistics fold on their own arm so the filter stage does
@@ -127,7 +124,7 @@ func (s *Study) runImageBranch(ctx context.Context, st *pipeline.Stats, res *Res
 	// workers <= 0 resolves to GOMAXPROCS inside the engine.
 	workers := s.Opts.Workers
 	matched := pipeline.Map(ctx, st, "photodna §4.3", workers, arms[1],
-		func(_ context.Context, r crawler.Result) matchOutcome { return s.matchResult(r) })
+		func(ctx context.Context, r crawler.Result) matchOutcome { return s.matchResult(ctx, r) })
 	safeCh := pipeline.Process(ctx, st, "hotline fan-in", matched,
 		func(o matchOutcome, emit func(SafeImage)) {
 			for _, rep := range o.reports {
@@ -173,8 +170,8 @@ func (s *Study) runImageBranch(ctx context.Context, st *pipeline.Stats, res *Res
 		})
 
 	searched := pipeline.Map(ctx, st, "reverse §4.5", workers, provIn,
-		func(_ context.Context, it provItem) provSearched {
-			return provSearched{it.pack, s.searchImage(it.si)}
+		func(ctx context.Context, it provItem) provSearched {
+			return provSearched{it.pack, s.searchImage(ctx, it.si)}
 		})
 
 	fold := newProvFold()

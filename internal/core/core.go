@@ -79,6 +79,11 @@ type Study struct {
 	serverMu sync.Mutex
 	server   *httptest.Server
 
+	// backend is how the study reaches the web substrate (crawl,
+	// reverse search, Wayback, snowball visits). Defaults to the
+	// in-process world; UseBackend swaps in an HTTP backend.
+	backend Backend
+
 	// stats holds the stage metrics of the most recent concurrent Run.
 	stats *pipeline.Stats
 }
@@ -97,16 +102,28 @@ func NewStudy(opts Options) *Study {
 	if opts.CrawlConcurrency <= 0 {
 		opts.CrawlConcurrency = 8
 	}
-	return &Study{
+	s := &Study{
 		Opts:      opts,
 		World:     synth.Generate(opts.Synth),
 		Whitelist: urlx.DefaultWhitelist(),
 		Hotline:   photodna.NewHotline(),
 	}
+	s.backend = &worldBackend{study: s}
+	return s
 }
 
-// Close shuts down the embedded hosting server if one was started.
+// UseBackend replaces the study's substrate backend — e.g. with an
+// HTTPBackend so the crawl, reverse search and Wayback lookups run
+// against live services instead of the in-process world. Must be
+// called before the first run.
+func (s *Study) UseBackend(b Backend) {
+	s.backend = b
+}
+
+// Close shuts down the embedded hosting server if one was started and
+// releases backend resources.
 func (s *Study) Close() {
+	s.backend.Close()
 	s.serverMu.Lock()
 	defer s.serverMu.Unlock()
 	if s.server != nil {
@@ -266,7 +283,7 @@ type LinkExtraction struct {
 // ExtractLinks pulls URLs from every post of the given TOPs,
 // snowball-expands the whitelist against the live web, and classifies
 // the links.
-func (s *Study) ExtractLinks(tops []forum.ThreadID) LinkExtraction {
+func (s *Study) ExtractLinks(ctx context.Context, tops []forum.ThreadID) LinkExtraction {
 	store := s.World.Store
 	type located struct {
 		url    string
@@ -285,7 +302,8 @@ func (s *Study) ExtractLinks(tops []forum.ThreadID) LinkExtraction {
 		}
 	}
 	// Snowball sampling against site landing pages.
-	added := urlx.Snowball(s.Whitelist, urls, s.World.Web.VisitKind, 5)
+	visit := func(domain string) (urlx.Kind, bool) { return s.backend.VisitKind(ctx, domain) }
+	added := urlx.Snowball(s.Whitelist, urls, visit, 5)
 
 	out := LinkExtraction{SnowballAdded: added}
 	var links []urlx.Link
@@ -309,13 +327,11 @@ func (s *Study) ExtractLinks(tops []forum.ThreadID) LinkExtraction {
 
 // --- Step 3: crawling (§4.2) -------------------------------------------
 
-// CrawlLinks downloads every task over live HTTP against the embedded
-// hosting server.
+// CrawlLinks downloads every task over live HTTP through the study's
+// backend (embedded hosting server by default; remote services with an
+// HTTPBackend).
 func (s *Study) CrawlLinks(ctx context.Context, tasks []crawler.Task) []crawler.Result {
-	srv := s.hostingServer()
-	c := crawler.New(crawler.Config{Concurrency: s.Opts.CrawlConcurrency},
-		srv.Client(), s.World.Web.Resolver(srv.URL))
-	return c.Crawl(ctx, tasks)
+	return s.backend.Crawl(ctx, tasks)
 }
 
 // --- Step 4: PhotoDNA gate (§4.3) ---------------------------------------
@@ -330,17 +346,17 @@ type SafeImage struct {
 // FilterAbuse passes every downloaded image through the PhotoDNA
 // filter. Matches are reported to the hotline (with reverse-search URL
 // reports, as in §4.3) and withheld from the returned set.
-func (s *Study) FilterAbuse(results []crawler.Result) ([]SafeImage, photodna.ActionSummary) {
-	return s.filterAbuseInto(results, s.Hotline)
+func (s *Study) FilterAbuse(ctx context.Context, results []crawler.Result) ([]SafeImage, photodna.ActionSummary) {
+	return s.filterAbuseInto(ctx, results, s.Hotline)
 }
 
 // filterAbuseInto is FilterAbuse reporting to an explicit hotline —
 // the concurrent Run gives each branch its own so the §4.3 summary
 // stays independent of branch interleaving.
-func (s *Study) filterAbuseInto(results []crawler.Result, hotline *photodna.Hotline) ([]SafeImage, photodna.ActionSummary) {
+func (s *Study) filterAbuseInto(ctx context.Context, results []crawler.Result, hotline *photodna.Hotline) ([]SafeImage, photodna.ActionSummary) {
 	var safe []SafeImage
 	for _, r := range results {
-		o := s.matchResult(r)
+		o := s.matchResult(ctx, r)
 		for _, rep := range o.reports {
 			hotline.Report(rep)
 		}
@@ -361,7 +377,7 @@ type matchOutcome struct {
 // finds the same image. Pure: reporting is the caller's job, so the
 // gate can fan out across workers while reports are filed in task
 // order.
-func (s *Study) matchResult(r crawler.Result) matchOutcome {
+func (s *Study) matchResult(ctx context.Context, r crawler.Result) matchOutcome {
 	var o matchOutcome
 	if r.Outcome != crawler.OutcomeOK {
 		return o
@@ -376,7 +392,7 @@ func (s *Study) matchResult(r crawler.Result) matchOutcome {
 		// Report with the URLs where reverse search finds the same
 		// image, reusing the hash already computed for the gate.
 		var urlReports []photodna.URLReport
-		for _, m := range s.World.Reverse.SearchHash(h) {
+		for _, m := range s.backend.SearchHash(ctx, h) {
 			urlReports = append(urlReports, photodna.URLReport{
 				URL:      m.URL,
 				Region:   s.World.RegionOf(m.Domain),
@@ -447,13 +463,13 @@ type ProvenanceResult struct {
 // per pack (lowest, median and highest NSFW score, per the paper),
 // checks Seen-Before against crawl dates and the Wayback archive, and
 // classifies the matched domains with the three classifiers.
-func (s *Study) Provenance(n NSFVResult) ProvenanceResult {
+func (s *Study) Provenance(ctx context.Context, n NSFVResult) ProvenanceResult {
 	f := newProvFold()
 	for _, si := range samplePackImages(n.PackImages, s.Opts.ImagesPerPack) {
-		f.addPack(s.searchImage(si))
+		f.addPack(s.searchImage(ctx, si))
 	}
 	for _, si := range n.Previews {
-		f.addPreview(s.searchImage(si))
+		f.addPreview(s.searchImage(ctx, si))
 	}
 	return f.finish(s)
 }
@@ -470,9 +486,9 @@ type searchOutcome struct {
 
 // searchImage reverse-searches one image and checks Seen-Before
 // against the post date and the Wayback archive.
-func (s *Study) searchImage(si SafeImage) searchOutcome {
+func (s *Study) searchImage(ctx context.Context, si SafeImage) searchOutcome {
 	posted := s.World.Store.Post(si.Task.Post).Created
-	matches := s.World.Reverse.Search(si.Image)
+	matches := s.backend.SearchImage(ctx, si.Image)
 	o := searchOutcome{thread: si.Task.Thread, matches: len(matches)}
 	if len(matches) == 0 {
 		return o
@@ -480,7 +496,7 @@ func (s *Study) searchImage(si SafeImage) searchOutcome {
 	o.seen = reverse.SeenBefore(matches, posted)
 	if !o.seen {
 		for _, m := range matches {
-			if s.World.Wayback.SeenBefore(m.URL, posted) {
+			if s.backend.WaybackSeenBefore(ctx, m.URL, posted) {
 				o.seen = true
 				break
 			}
@@ -687,7 +703,7 @@ func (s *Study) analyzeEarningsWith(ctx context.Context, ew []forum.ThreadID, ho
 	res.URLs = len(tasks)
 
 	results := s.CrawlLinks(ctx, tasks)
-	safe, _ := s.filterAbuseInto(results, hotline)
+	safe, _ := s.filterAbuseInto(ctx, results, hotline)
 	res.Downloaded = 0
 	for _, r := range results {
 		if r.Outcome == crawler.OutcomeOK {
@@ -864,14 +880,14 @@ func (s *Study) RunSequential(ctx context.Context) (*Results, error) {
 		res.Table1[i].TOPs = cls.TOPsByForum[res.Table1[i].Forum]
 	}
 
-	res.Links = s.ExtractLinks(cls.Extract.TOPs)
+	res.Links = s.ExtractLinks(ctx, cls.Extract.TOPs)
 	crawlResults := s.CrawlLinks(ctx, res.Links.Tasks)
 	res.CrawlStats = crawler.Summarize(crawlResults)
 
-	safe, pdnaSummary := s.FilterAbuse(crawlResults)
+	safe, pdnaSummary := s.FilterAbuse(ctx, crawlResults)
 	res.PhotoDNA = pdnaSummary
 	res.NSFV = s.ClassifyNSFV(safe)
-	res.Provenance = s.Provenance(res.NSFV)
+	res.Provenance = s.Provenance(ctx, res.NSFV)
 
 	res.Earnings = s.AnalyzeEarnings(ctx, res.EWhoringThreads)
 	res.Actors = s.AnalyzeActors(res.EWhoringThreads, cls.Extract.TOPs, res.Earnings.Proofs)

@@ -95,6 +95,10 @@ type Config struct {
 	// MaxRetries is the number of re-attempts after transport errors
 	// (default 2).
 	MaxRetries int
+	// BackoffBase is the unit of the deterministic retry backoff:
+	// attempt n sleeps n*BackoffBase (default 10ms). No jitter — retry
+	// schedules must be reproducible.
+	BackoffBase time.Duration
 	// MaxBodyBytes caps a response body (default 64 MiB).
 	MaxBodyBytes int64
 }
@@ -107,6 +111,9 @@ func (c Config) withDefaults() Config {
 		c.MaxRetries = 0
 	} else if c.MaxRetries == 0 {
 		c.MaxRetries = 2
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
@@ -215,7 +222,7 @@ func (c *Crawler) fetchOne(ctx context.Context, t Task) Result {
 			res.Outcome = OutcomeError
 			res.Err = ctx.Err()
 			return res
-		case <-time.After(time.Duration(attempt+1) * 10 * time.Millisecond):
+		case <-time.After(time.Duration(attempt+1) * c.cfg.BackoffBase):
 		}
 	}
 	res.Outcome = OutcomeError

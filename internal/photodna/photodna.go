@@ -186,6 +186,9 @@ func (hl *HashList) Match(im *imagex.Image) (Entry, bool) {
 }
 
 // MatchHash reports the closest entry within the radius of h.
+// Distance ties break on the lowest entry ID: the winner must never
+// depend on map iteration order (DESIGN.md §1 — the report filed for
+// a match is part of the deterministic Results).
 func (hl *HashList) MatchHash(h RobustHash) (Entry, bool) {
 	hl.mu.RLock()
 	defer hl.mu.RUnlock()
@@ -193,7 +196,11 @@ func (hl *HashList) MatchHash(h RobustHash) (Entry, bool) {
 	var found Entry
 	ok := false
 	for eh, e := range hl.entries {
-		if d := h.Distance(eh); d < best {
+		d := h.Distance(eh)
+		if d > best || d > hl.radius {
+			continue
+		}
+		if d < best || !ok || e.ID < found.ID {
 			best = d
 			found = e
 			ok = true

@@ -195,3 +195,31 @@ func BenchmarkMatch(b *testing.B) {
 		hl.Match(im)
 	}
 }
+
+// TestMatchHashTieBreakDeterministic pins the distance tie-break: with
+// several entries equidistant from the query, the lowest entry ID must
+// win regardless of map iteration order (DESIGN.md §1).
+func TestMatchHashTieBreakDeterministic(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		hl := NewHashList(8)
+		// Query hash {A:0,D:0}; all entries at Hamming distance 2.
+		hl.AddHash(RobustHash{A: 0b0011}, Entry{ID: 7})
+		hl.AddHash(RobustHash{A: 0b1100}, Entry{ID: 3})
+		hl.AddHash(RobustHash{D: 0b0101}, Entry{ID: 9})
+		e, ok := hl.MatchHash(RobustHash{})
+		if !ok || e.ID != 3 {
+			t.Fatalf("trial %d: matched entry %d (ok=%v), want lowest ID 3", trial, e.ID, ok)
+		}
+	}
+}
+
+// TestMatchHashPrefersCloserOverLowerID: the tie-break must not
+// override the distance ordering.
+func TestMatchHashPrefersCloserOverLowerID(t *testing.T) {
+	hl := NewHashList(8)
+	hl.AddHash(RobustHash{A: 0b1}, Entry{ID: 50}) // distance 1
+	hl.AddHash(RobustHash{A: 0b11}, Entry{ID: 1}) // distance 2
+	if e, ok := hl.MatchHash(RobustHash{}); !ok || e.ID != 50 {
+		t.Fatalf("matched entry %+v (ok=%v), want the closer ID 50", e, ok)
+	}
+}

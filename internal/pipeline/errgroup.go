@@ -1,0 +1,52 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+)
+
+// ErrGroup runs branches that can fail, in the mould of
+// golang.org/x/sync/errgroup (not a dependency of this module): the
+// first non-nil error is kept, and if the group was created with
+// NewErrGroup, that error also cancels the group context so sibling
+// branches can wind down. The zero value is usable and simply
+// collects the first error.
+type ErrGroup struct {
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	once   sync.Once
+	err    error
+}
+
+// NewErrGroup returns a group whose derived context is cancelled the
+// first time a branch returns a non-nil error or Wait completes.
+func NewErrGroup(ctx context.Context) (*ErrGroup, context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	return &ErrGroup{cancel: cancel}, ctx
+}
+
+// Go starts fn as a branch.
+func (g *ErrGroup) Go(fn func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := fn(); err != nil {
+			g.once.Do(func() {
+				g.err = err
+				if g.cancel != nil {
+					g.cancel()
+				}
+			})
+		}
+	}()
+}
+
+// Wait blocks until every branch has returned, cancels the group
+// context, and returns the first error.
+func (g *ErrGroup) Wait() error {
+	g.wg.Wait()
+	if g.cancel != nil {
+		g.cancel()
+	}
+	return g.err
+}

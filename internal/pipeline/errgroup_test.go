@@ -1,0 +1,60 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestErrGroupFirstErrorWinsAndCancels(t *testing.T) {
+	g, ctx := NewErrGroup(context.Background())
+	boom := errors.New("boom")
+	g.Go(func() error { return boom })
+	g.Go(func() error {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(5 * time.Second):
+			return errors.New("sibling was not cancelled")
+		}
+	})
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want boom", err)
+	}
+	if ctx.Err() == nil {
+		t.Error("group context not cancelled after Wait")
+	}
+}
+
+func TestErrGroupAllOK(t *testing.T) {
+	g, _ := NewErrGroup(context.Background())
+	for i := 0; i < 4; i++ {
+		g.Go(func() error { return nil })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait = %v, want nil", err)
+	}
+}
+
+func TestErrGroupZeroValue(t *testing.T) {
+	var g ErrGroup
+	g.Go(func() error { return nil })
+	g.Go(func() error { return errors.New("only error") })
+	if err := g.Wait(); err == nil || err.Error() != "only error" {
+		t.Fatalf("Wait = %v", err)
+	}
+}
+
+func TestErrGroupParentCancellation(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	g, ctx := NewErrGroup(parent)
+	g.Go(func() error {
+		<-ctx.Done()
+		return nil
+	})
+	cancel()
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait = %v, want nil (parent cancel is not a branch error)", err)
+	}
+}

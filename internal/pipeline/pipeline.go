@@ -261,20 +261,20 @@ func Tee[T any](ctx context.Context, in <-chan T, n int) []<-chan T {
 	return ro
 }
 
-// Group runs pipeline branches concurrently and waits for all of them.
+// Group runs pipeline branches concurrently and waits for all of them
+// — the error-free face of ErrGroup for branches that cannot fail.
 // The zero value is ready to use.
 type Group struct {
-	wg sync.WaitGroup
+	eg ErrGroup
 }
 
 // Go starts fn as a branch.
 func (g *Group) Go(fn func()) {
-	g.wg.Add(1)
-	go func() {
-		defer g.wg.Done()
+	g.eg.Go(func() error {
 		fn()
-	}()
+		return nil
+	})
 }
 
 // Wait blocks until every branch started with Go has returned.
-func (g *Group) Wait() { g.wg.Wait() }
+func (g *Group) Wait() { g.eg.Wait() }

@@ -1,0 +1,51 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// TestFullReportGolden pins report.Full byte-for-byte for a fixed
+// seed/scale: table layout, column widths, number formatting and row
+// order are all part of the study's contract (DESIGN.md §1 —
+// determinism is an invariant), so any formatting or data drift fails
+// here. Regenerate deliberately with:
+//
+//	go test ./internal/report -run TestFullReportGolden -update
+func TestFullReportGolden(t *testing.T) {
+	got := Full(res(t))
+	golden := filepath.Join("testdata", "full_seed77_scale002.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	n := len(gotLines)
+	if len(wantLines) < n {
+		n = len(wantLines)
+	}
+	for i := 0; i < n; i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("report drifted from golden at line %d:\n  got:  %q\n  want: %q\n(rerun with -update if the change is intended)",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("report drifted from golden: got %d lines, want %d (rerun with -update if intended)",
+		len(gotLines), len(wantLines))
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"repro/internal/imagex"
 )
@@ -21,10 +22,24 @@ type searchResponse struct {
 
 // Handler serves the index over HTTP:
 //
-//	POST /search  (body: SIMG image)  → 200 JSON {"matches": [...]}
-//	GET  /stats                       → 200 JSON {"indexed": N}
+//	POST /search      (body: SIMG image)  → 200 JSON {"matches": [...]}
+//	GET  /searchhash?h=<32 hex chars>     → 200 JSON {"matches": [...]}
+//	GET  /stats                           → 200 JSON {"indexed": N}
+//
+// /searchhash takes the composite perceptual hash directly (AHash then
+// DHash, 16 hex chars each) — the PhotoDNA gate has already hashed the
+// image, so remote pipelines skip re-uploading the payload.
 func Handler(ix *Index) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/searchhash", func(w http.ResponseWriter, r *http.Request) {
+		h, err := ParseHash128(r.URL.Query().Get("h"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(searchResponse{Matches: ix.SearchHash(h)})
+	})
 	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -78,6 +93,20 @@ func (c *Client) Search(ctx context.Context, im *imagex.Image) ([]Match, error) 
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "image/x-simg")
+	return c.do(req)
+}
+
+// SearchHash queries by precomputed composite hash via /searchhash.
+func (c *Client) SearchHash(ctx context.Context, h imagex.Hash128) ([]Match, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/searchhash?h="+FormatHash128(h), nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.do(req)
+}
+
+func (c *Client) do(req *http.Request) ([]Match, error) {
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return nil, err
@@ -91,4 +120,28 @@ func (c *Client) Search(ctx context.Context, im *imagex.Image) ([]Match, error) 
 		return nil, fmt.Errorf("reverse: bad response: %w", err)
 	}
 	return sr.Matches, nil
+}
+
+// FormatHash128 renders a composite hash as 32 hex characters (AHash
+// then DHash), the /searchhash wire format.
+func FormatHash128(h imagex.Hash128) string {
+	return fmt.Sprintf("%016x%016x", uint64(h.A), uint64(h.D))
+}
+
+// ParseHash128 parses the /searchhash wire format.
+func ParseHash128(s string) (imagex.Hash128, error) {
+	var h imagex.Hash128
+	if len(s) != 32 {
+		return h, fmt.Errorf("reverse: hash must be 32 hex chars, got %d", len(s))
+	}
+	a, err := strconv.ParseUint(s[:16], 16, 64)
+	if err != nil {
+		return h, fmt.Errorf("reverse: bad hash: %w", err)
+	}
+	d, err := strconv.ParseUint(s[16:], 16, 64)
+	if err != nil {
+		return h, fmt.Errorf("reverse: bad hash: %w", err)
+	}
+	h.A, h.D = imagex.Hash(a), imagex.Hash(d)
+	return h, nil
 }

@@ -167,3 +167,45 @@ func BenchmarkSearch10k(b *testing.B) {
 		_ = ix.Search(im)
 	}
 }
+
+func TestSearchHashEndpoint(t *testing.T) {
+	ix := NewIndex(0)
+	origin := imagex.GenModel(5, 0, imagex.PoseNude, 48)
+	ix.AddImage(origin, Record{URL: "http://pornsite.example/m5", Domain: "pornsite.example", CrawlDate: day(0)})
+	srv := httptest.NewServer(Handler(ix))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, srv.Client())
+	got, err := c.SearchHash(context.Background(), imagex.Hash128Of(origin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ix.SearchHash(imagex.Hash128Of(origin))
+	if len(got) != len(want) || got[0].URL != want[0].URL || got[0].Distance != want[0].Distance {
+		t.Fatalf("remote hash search = %+v, want %+v", got, want)
+	}
+	if !got[0].CrawlDate.Equal(want[0].CrawlDate) {
+		t.Errorf("crawl date did not survive the wire: %v != %v", got[0].CrawlDate, want[0].CrawlDate)
+	}
+
+	// Malformed hashes are rejected.
+	resp, err := srv.Client().Get(srv.URL + "/searchhash?h=nothex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad hash: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHashWireFormatRoundtrip(t *testing.T) {
+	h := imagex.Hash128{A: 0xdeadbeef01234567, D: 0x89abcdef00000001}
+	got, err := ParseHash128(FormatHash128(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("roundtrip %v != %v", got, h)
+	}
+}

@@ -1,0 +1,98 @@
+package studysvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client drives a remote study service — what cmd/ewpipeline -remote
+// uses against a live cmd/ewserve.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for the service at baseURL (no trailing
+// slash). httpClient may be nil (http.DefaultClient).
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{BaseURL: baseURL, HTTP: httpClient}
+}
+
+// Run submits a study request and waits for its result.
+func (c *Client) Run(ctx context.Context, r Request) (*Envelope, error) {
+	body, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/study", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req)
+}
+
+// Get fetches a run by id.
+func (c *Client) Get(ctx context.Context, id string) (*Envelope, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/study/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.do(req)
+}
+
+// Stats fetches the service counters.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("studysvc: bad stats response: %w", err)
+	}
+	return &st, nil
+}
+
+func (c *Client) do(req *http.Request) (*Envelope, error) {
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, decodeError(resp)
+	}
+	var env Envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return nil, fmt.Errorf("studysvc: bad response: %w", err)
+	}
+	return &env, nil
+}
+
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var er errorResponse
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		return fmt.Errorf("studysvc: %s (status %d)", er.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("studysvc: status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}

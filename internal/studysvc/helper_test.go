@@ -1,0 +1,29 @@
+package studysvc
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// directReport runs the study in-process and renders the full report —
+// the reference the service's output is pinned to.
+func directReport(t *testing.T, r Request) string {
+	t.Helper()
+	study := core.NewStudy(canonicalize(r).coreOptions())
+	res, err := study.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report.Full(res)
+}
+
+// jsonDecode decodes a response body and closes it.
+func jsonDecode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,460 @@
+// Package studysvc serves the study as an HTTP API: POST a set of
+// options and get back the paper's headline numbers, per-stage engine
+// metrics and the full text report. The measurement pipeline becomes a
+// service the way a production measurement platform would run it —
+// requests for the same world are answered from cache, identical
+// requests in flight share one run, and total concurrency is bounded.
+//
+//	POST /v1/study        run (or fetch) a study; body: {"seed":2019,"scale":0.05,...}
+//	GET  /v1/study/{id}   fetch a run by id
+//	GET  /v1/stats        service counters
+//
+// Three mechanisms keep the service safe under heavy traffic:
+//
+//   - a bounded worker pool: at most Config.MaxConcurrentRuns studies
+//     execute at once, the rest queue;
+//   - in-flight coalescing: concurrent identical requests attach to
+//     the one running study instead of starting their own;
+//   - an LRU result cache keyed by canonicalized options: a study is
+//     deterministic in its options (DESIGN.md §1), so a completed
+//     Results never goes stale and identical requests are pure cache
+//     hits.
+package studysvc
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/report"
+	"repro/internal/synth"
+)
+
+// Config tunes the service.
+type Config struct {
+	// MaxConcurrentRuns bounds how many studies execute at once
+	// (default 2); further requests queue on the pool.
+	MaxConcurrentRuns int
+	// CacheSize is the LRU capacity in completed runs (default 16).
+	CacheSize int
+	// MaxScale rejects requests for worlds larger than this (default
+	// 1.0 — paper scale).
+	MaxScale float64
+	// MaxWorkers rejects requests asking for more per-stage workers
+	// than this (default 32): worker counts size real goroutine pools,
+	// so an unbounded value is a one-request denial of service.
+	MaxWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrentRuns <= 0 {
+		c.MaxConcurrentRuns = 2
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 16
+	}
+	if c.MaxScale <= 0 {
+		c.MaxScale = 1.0
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = 32
+	}
+	return c
+}
+
+// Request is the POST /v1/study body. Zero fields take the study's
+// defaults.
+type Request struct {
+	Seed           uint64  `json:"seed"`
+	Scale          float64 `json:"scale"`
+	AnnotationSize int     `json:"annotation_size"`
+	Workers        int     `json:"workers"`
+}
+
+// Canonical is a fully-defaulted request: the cache key domain. Two
+// requests naming the same world in different ways (omitted fields vs
+// explicit defaults) canonicalize identically and share one run.
+type Canonical struct {
+	Seed           uint64  `json:"seed"`
+	Scale          float64 `json:"scale"`
+	AnnotationSize int     `json:"annotation_size"`
+	Workers        int     `json:"workers"`
+}
+
+// canonicalize applies the same defaulting core.NewStudy and
+// synth.Generate apply — sourced from their exported defaults, so the
+// key always matches what actually runs.
+func canonicalize(r Request) Canonical {
+	def := core.DefaultOptions()
+	c := Canonical{Seed: r.Seed, Scale: r.Scale, AnnotationSize: r.AnnotationSize, Workers: r.Workers}
+	if c.Seed == 0 {
+		c.Seed = def.Synth.Seed
+	}
+	if c.Scale <= 0 {
+		c.Scale = def.Synth.Scale
+	}
+	if c.AnnotationSize <= 0 {
+		c.AnnotationSize = def.AnnotationSize
+	}
+	if c.Workers < 0 {
+		c.Workers = 0
+	}
+	return c
+}
+
+// key renders the canonical options as the cache key.
+func (c Canonical) key() string {
+	return "seed=" + strconv.FormatUint(c.Seed, 10) +
+		"|scale=" + strconv.FormatFloat(c.Scale, 'g', -1, 64) +
+		"|annotation=" + strconv.Itoa(c.AnnotationSize) +
+		"|workers=" + strconv.Itoa(c.Workers)
+}
+
+// coreOptions expands the canonical options for core.NewStudy.
+func (c Canonical) coreOptions() core.Options {
+	return core.Options{
+		Synth:          synth.Config{Seed: c.Seed, Scale: c.Scale},
+		AnnotationSize: c.AnnotationSize,
+		Workers:        c.Workers,
+	}
+}
+
+// Summary carries the study's headline numbers — the figures the
+// paper's abstract quotes, not the full tables (those are in Report).
+type Summary struct {
+	EWhoringThreads int     `json:"ewhoring_threads"`
+	Forums          int     `json:"forums"`
+	TOPs            int     `json:"tops"`
+	CrawlTasks      int     `json:"crawl_tasks"`
+	UniqueImages    int     `json:"unique_images"`
+	PhotoDNAMatches int     `json:"photodna_matches"`
+	NSFVPreviews    int     `json:"nsfv_previews"`
+	PacksMatched    int     `json:"packs_matched"`
+	PacksTotal      int     `json:"packs_total"`
+	PreviewsMatched int     `json:"previews_matched"`
+	PreviewsTotal   int     `json:"previews_total"`
+	MatchedDomains  int     `json:"matched_domains"`
+	Proofs          int     `json:"proofs"`
+	TotalUSD        float64 `json:"total_usd"`
+	Profiles        int     `json:"profiles"`
+	KeyActors       int     `json:"key_actors"`
+}
+
+func summarize(res *core.Results) Summary {
+	return Summary{
+		EWhoringThreads: len(res.EWhoringThreads),
+		Forums:          len(res.Table1),
+		TOPs:            len(res.Classifier.Extract.TOPs),
+		CrawlTasks:      res.CrawlStats.Tasks,
+		UniqueImages:    res.CrawlStats.UniqueImages,
+		PhotoDNAMatches: res.PhotoDNA.Matches,
+		NSFVPreviews:    len(res.NSFV.Previews),
+		PacksMatched:    res.Provenance.Packs.Matched,
+		PacksTotal:      res.Provenance.Packs.Total,
+		PreviewsMatched: res.Provenance.Previews.Matched,
+		PreviewsTotal:   res.Provenance.Previews.Total,
+		MatchedDomains:  len(res.Provenance.Domains),
+		Proofs:          res.Earnings.Summary.Proofs,
+		TotalUSD:        res.Earnings.Summary.TotalUSD,
+		Profiles:        len(res.Actors.Profiles),
+		KeyActors:       len(res.Actors.Key.All),
+	}
+}
+
+// Run statuses.
+const (
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// Envelope is the wire form of one study run.
+type Envelope struct {
+	ID      string    `json:"id"`
+	Status  string    `json:"status"`
+	Cached  bool      `json:"cached"`
+	Options Canonical `json:"options"`
+	Error   string    `json:"error,omitempty"`
+	// ElapsedMS is the study's execution time (not the request's: a
+	// cached response keeps the original run's).
+	ElapsedMS int64                    `json:"elapsed_ms,omitempty"`
+	Summary   *Summary                 `json:"summary,omitempty"`
+	Stages    []pipeline.StageSnapshot `json:"stages,omitempty"`
+	Report    string                   `json:"report,omitempty"`
+}
+
+// run is one study execution and its lifecycle.
+type run struct {
+	id   string
+	key  string
+	opts Canonical
+	done chan struct{} // closed when the run finishes
+
+	// Written once before done closes, read-only after.
+	status  string
+	errMsg  string
+	elapsed time.Duration
+	summary *Summary
+	stages  []pipeline.StageSnapshot
+	report  string
+}
+
+func (r *run) envelope(cached bool, full bool) Envelope {
+	select {
+	case <-r.done:
+		// The closed channel orders the executor's writes before our
+		// reads below.
+	default:
+		// Still running: only the immutable fields are safe to read.
+		return Envelope{ID: r.id, Status: StatusRunning, Cached: cached, Options: r.opts}
+	}
+	env := Envelope{
+		ID:      r.id,
+		Status:  r.status,
+		Cached:  cached,
+		Options: r.opts,
+		Error:   r.errMsg,
+	}
+	if r.status == StatusDone {
+		env.ElapsedMS = r.elapsed.Milliseconds()
+		env.Summary = r.summary
+		env.Stages = r.stages
+		if full {
+			env.Report = r.report
+		}
+	}
+	return env
+}
+
+// Stats are the service counters served at /v1/stats.
+type Stats struct {
+	RunsStarted   int64 `json:"runs_started"`
+	RunsCompleted int64 `json:"runs_completed"`
+	RunsFailed    int64 `json:"runs_failed"`
+	CacheHits     int64 `json:"cache_hits"`
+	Coalesced     int64 `json:"coalesced"`
+	Evictions     int64 `json:"evictions"`
+	InFlight      int   `json:"in_flight"`
+	CachedResults int   `json:"cached_results"`
+}
+
+// Service runs studies behind a cache, an in-flight table and a
+// bounded pool. Create with New; mount via Handler.
+type Service struct {
+	cfg Config
+	sem chan struct{} // bounded worker pool
+
+	mu       sync.Mutex
+	stats    Stats
+	inflight map[string]*run
+	byID     map[string]*run
+	order    *list.List               // LRU: front = most recent
+	cache    map[string]*list.Element // key → element whose Value is *run
+	failed   []string                 // failed run ids, oldest first (bounded)
+	nextID   int
+}
+
+// New builds a service.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxConcurrentRuns),
+		inflight: make(map[string]*run),
+		byID:     make(map[string]*run),
+		order:    list.New(),
+		cache:    make(map[string]*list.Element),
+	}
+}
+
+// getOrStart returns the run for the canonical options: a cached
+// result, the in-flight run to coalesce onto, or a freshly started
+// one. cached reports a cache hit.
+func (s *Service) getOrStart(c Canonical) (r *run, cached bool) {
+	key := c.key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.cache[key]; ok {
+		s.order.MoveToFront(el)
+		s.stats.CacheHits++
+		return el.Value.(*run), true
+	}
+	if r, ok := s.inflight[key]; ok {
+		s.stats.Coalesced++
+		return r, false
+	}
+	s.nextID++
+	r = &run{
+		id:     "s-" + strconv.Itoa(s.nextID),
+		key:    key,
+		opts:   c,
+		done:   make(chan struct{}),
+		status: StatusRunning,
+	}
+	s.inflight[key] = r
+	s.byID[r.id] = r
+	s.stats.RunsStarted++
+	go s.execute(r)
+	return r, false
+}
+
+// execute runs one study under the pool bound and publishes the
+// outcome.
+func (s *Service) execute(r *run) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	start := time.Now()
+	study := core.NewStudy(r.opts.coreOptions())
+	res, err := study.Run(context.Background())
+	elapsed := time.Since(start)
+
+	if err == nil {
+		sum := summarize(res)
+		r.summary = &sum
+		r.stages = study.PipelineStats()
+		r.report = report.Full(res)
+		r.elapsed = elapsed
+		r.status = StatusDone
+	} else {
+		r.errMsg = err.Error()
+		r.status = StatusFailed
+	}
+
+	// Publish the outcome before the bookkeeping: once the run is
+	// reachable through the cache it must already read as finished.
+	// Requests landing between the close and the cache insert still
+	// find the run in inflight and coalesce onto the closed channel.
+	close(r.done)
+
+	s.mu.Lock()
+	delete(s.inflight, r.key)
+	if err == nil {
+		s.stats.RunsCompleted++
+		s.cache[r.key] = s.order.PushFront(r)
+		for s.order.Len() > s.cfg.CacheSize {
+			el := s.order.Back()
+			victim := el.Value.(*run)
+			s.order.Remove(el)
+			delete(s.cache, victim.key)
+			delete(s.byID, victim.id)
+			s.stats.Evictions++
+		}
+	} else {
+		s.stats.RunsFailed++
+		// Failed runs stay addressable for a while so a waiting GET can
+		// read the error, but never enter the cache: identical options
+		// retry. Bound the bookkeeping.
+		s.failed = append(s.failed, r.id)
+		for len(s.failed) > 32 {
+			delete(s.byID, s.failed[0])
+			s.failed = s.failed[1:]
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.InFlight = len(s.inflight)
+	st.CachedResults = len(s.cache)
+	return st
+}
+
+// Handler mounts the API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/study", s.handleRun)
+	mux.HandleFunc("GET /v1/study/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *Service) handleRun(w http.ResponseWriter, req *http.Request) {
+	var in Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	c := canonicalize(in)
+	if c.Scale > s.cfg.MaxScale {
+		httpError(w, http.StatusUnprocessableEntity,
+			fmt.Sprintf("scale %g exceeds the service limit %g", c.Scale, s.cfg.MaxScale))
+		return
+	}
+	if c.Workers > s.cfg.MaxWorkers {
+		httpError(w, http.StatusUnprocessableEntity,
+			fmt.Sprintf("workers %d exceeds the service limit %d", c.Workers, s.cfg.MaxWorkers))
+		return
+	}
+
+	r, cached := s.getOrStart(c)
+	if req.URL.Query().Get("wait") == "false" {
+		w.WriteHeader(http.StatusAccepted)
+		writeJSON(w, r.envelope(cached, false))
+		return
+	}
+	select {
+	case <-r.done:
+	case <-req.Context().Done():
+		// Client gone; the run continues for future requests.
+		return
+	}
+	writeJSON(w, r.envelope(cached, wantReport(req)))
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	s.mu.Lock()
+	r, ok := s.byID[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such study run (completed runs are evicted LRU)")
+		return
+	}
+	if req.URL.Query().Get("wait") == "true" {
+		select {
+		case <-r.done:
+		case <-req.Context().Done():
+			return
+		}
+	}
+	writeJSON(w, r.envelope(false, wantReport(req)))
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+// wantReport reports whether the response should carry the full text
+// report (default yes; report=false trims it).
+func wantReport(req *http.Request) bool {
+	return req.URL.Query().Get("report") != "false"
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
