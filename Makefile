@@ -21,15 +21,18 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# One iteration of the sequential/concurrent full-study pair — fast
-# sanity that the engine runs end to end — emitted both as benchstat
-# input (bench_pipeline.txt) and as a JSON artifact for CI upload.
+# One iteration of the sequential/concurrent full-study pair plus the
+# cross-seed sweep — fast sanity that the engine and the sweep
+# orchestrator run end to end — emitted both as benchstat input
+# (bench_*.txt) and as JSON artifacts for CI upload.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=StudyRun -benchtime=1x . | tee bench_pipeline.txt
 	$(GO) run ./cmd/benchjson -in bench_pipeline.txt -out BENCH_pipeline.json
+	$(GO) test -run='^$$' -bench=SweepCrossSeed -benchtime=1x . | tee bench_sweep.txt
+	$(GO) run ./cmd/benchjson -in bench_sweep.txt -out BENCH_sweep.json
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
 clean:
-	rm -f bench_pipeline.txt BENCH_pipeline.json
+	rm -f bench_pipeline.txt BENCH_pipeline.json bench_sweep.txt BENCH_sweep.json

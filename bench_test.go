@@ -25,6 +25,7 @@ import (
 	"repro/internal/nsfv"
 	"repro/internal/nsfw"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/synth"
 	"repro/internal/topclass"
 	"repro/internal/urlx"
@@ -501,6 +502,30 @@ func BenchmarkStudyRunConcurrent(b *testing.B) {
 		b.StartTimer()
 		if _, err := study.Run(context.Background()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepCrossSeed runs a small cross-seed sweep — three full
+// studies on the local backend with bounded parallelism — the cost of
+// one cell of cross-seed aggregation work. CI's bench-smoke job emits
+// this as BENCH_sweep.json alongside the StudyRun pair.
+func BenchmarkSweepCrossSeed(b *testing.B) {
+	cells, err := sweep.Spec{
+		Preset: sweep.PresetCrossSeed, Seeds: 3,
+		Scale: 0.01, Annotation: 200,
+	}.Cells()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res := sweep.Run(context.Background(), "bench", cells, sweep.Local{},
+			sweep.Options{Parallelism: 2})
+		if len(res.Errors) != 0 {
+			b.Fatalf("sweep errors: %v", res.Errors)
+		}
+		if len(res.Aggregate.Groups) != 1 {
+			b.Fatal("sweep aggregate wrong shape")
 		}
 	}
 }

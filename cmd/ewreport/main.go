@@ -1,9 +1,12 @@
 // Command ewreport regenerates every table and figure of the study
-// against a synthetic world and prints them in the paper's layout.
+// against a synthetic world and prints them in the paper's layout. The
+// study runs on the concurrent stage engine by default; -seq runs the
+// sequential reference implementation instead (identical output for
+// the same seed).
 //
 // Usage:
 //
-//	ewreport [-seed N] [-scale F] [-annotation N]
+//	ewreport [-seed N] [-scale F] [-annotation N] [-workers N] [-seq]
 package main
 
 import (
@@ -22,18 +25,27 @@ func main() {
 	seed := flag.Uint64("seed", 2019, "world seed")
 	scale := flag.Float64("scale", 0.1, "corpus scale (1.0 ≈ paper scale)")
 	annotation := flag.Int("annotation", 1000, "annotated-thread corpus size")
+	workers := flag.Int("workers", 0, "pipeline stage workers (0 = GOMAXPROCS)")
+	seq := flag.Bool("seq", false, "run the sequential reference implementation")
 	flag.Parse()
 
 	start := time.Now()
 	study := core.NewStudy(core.Options{
 		Synth:          synth.Config{Seed: *seed, Scale: *scale},
 		AnnotationSize: *annotation,
+		Workers:        *workers,
 	})
 	fmt.Fprintf(os.Stderr, "world generated in %v: %d threads, %d posts, %d actors\n",
 		time.Since(start).Round(time.Millisecond),
 		study.World.Store.NumThreads(), study.World.Store.NumPosts(), study.World.Store.NumActors())
 
-	res, err := study.Run(context.Background())
+	var res *core.Results
+	var err error
+	if *seq {
+		res, err = study.RunSequential(context.Background())
+	} else {
+		res, err = study.Run(context.Background())
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ewreport:", err)
 		os.Exit(1)

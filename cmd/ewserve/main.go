@@ -48,6 +48,7 @@ func main() {
 	studyRuns := flag.Int("study-runs", 2, "max concurrent study runs")
 	studyCache := flag.Int("study-cache", 16, "study result cache size (LRU)")
 	studyMaxScale := flag.Float64("study-max-scale", 0.25, "largest scale the study service accepts")
+	studySweepCells := flag.Int("study-sweep-cells", 64, "largest sweep (in cells) the study service accepts")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown deadline")
 	flag.Parse()
 
@@ -71,6 +72,7 @@ func main() {
 			MaxConcurrentRuns: *studyRuns,
 			CacheSize:         *studyCache,
 			MaxScale:          *studyMaxScale,
+			MaxSweepCells:     *studySweepCells,
 		})
 		services = append(services, service{"study", *studyAddr, svc.Handler()})
 	}
@@ -128,6 +130,7 @@ func main() {
 	fmt.Println("example: curl http://" + *hostingAddr + "/imgur.com/landing")
 	if *studyAddr != "" {
 		fmt.Printf("example: curl -X POST http://%s/v1/study -d '{\"seed\":2019,\"scale\":0.02}'\n", *studyAddr)
+		fmt.Printf("example: go run ./cmd/ewsweep -remote http://%s -preset cross-seed-stability -seeds 10 -scale 0.05\n", *studyAddr)
 	}
 	fmt.Println("Ctrl-C to stop (twice to force)")
 

@@ -1,0 +1,173 @@
+// Command ewsweep plans and runs a scenario sweep: a grid of full
+// studies over seeds, scales, annotation sizes and worker counts,
+// aggregated into per-artefact mean / stddev / 95% CI tables, a
+// paper-vs-measured stability table and (for scale ladders)
+// scale-sensitivity slopes. It is the many-seed generalization of
+// cmd/ewreport's single study.
+//
+// Presets:
+//
+//	cross-seed-stability   N seeds at one scale — are the artefacts stable across worlds?
+//	scale-sensitivity      a scale ladder per seed — what grows with the world, what is calibrated?
+//	crawler-concurrency    crawler workers 1/2/4/8 — artefacts must not move, only timings
+//
+// With -remote the cells are POSTed to a live study service
+// (cmd/ewserve's -study address), which turns the sweep into a load
+// generator: concurrent study requests exercising the service's worker
+// pool, request coalescing and result cache, with aggregates identical
+// to the local run. -server instead submits the whole spec to the
+// service's POST /v1/sweep and lets it fan out server-side.
+//
+// Usage:
+//
+//	ewsweep -preset cross-seed-stability -seeds 10 -scale 0.05
+//	ewsweep -scales 0.01,0.02,0.04 -seeds 3
+//	ewsweep -preset crawler-concurrency -seeds 2 -scale 0.02
+//	ewsweep -remote http://127.0.0.1:8084 -preset cross-seed-stability -seeds 10 -scale 0.05
+//	ewsweep -remote http://127.0.0.1:8084 -server -preset scale-sensitivity -json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/studysvc"
+	"repro/internal/sweep"
+)
+
+func main() {
+	preset := flag.String("preset", "", "scenario preset: "+strings.Join(sweep.Presets(), ", ")+" (empty = custom/single)")
+	seeds := flag.Int("seeds", 0, "number of consecutive seeds (preset default if 0)")
+	seed := flag.Uint64("seed", 2019, "base world seed")
+	scale := flag.Float64("scale", 0.05, "base corpus scale")
+	scales := flag.String("scales", "", "comma-separated scale list (custom grid)")
+	seedList := flag.String("seed-list", "", "comma-separated explicit seed list (custom grid)")
+	annotation := flag.Int("annotation", 0, "annotated-thread corpus size (0 = study default)")
+	workers := flag.Int("workers", 0, "pipeline stage workers per study (0 = GOMAXPROCS)")
+	crawl := flag.Int("crawl", 0, "crawler workers per study (0 = study default)")
+	parallel := flag.Int("parallel", 2, "concurrent cells")
+	cellTimeout := flag.Duration("cell-timeout", 10*time.Minute, "per-cell timeout")
+	remote := flag.String("remote", "", "drive a live study service at this base URL")
+	server := flag.Bool("server", false, "with -remote: run the sweep server-side via POST /v1/sweep")
+	jsonOut := flag.Bool("json", false, "emit the full sweep result as JSON")
+	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines")
+	flag.Parse()
+
+	spec := sweep.Spec{
+		Preset: *preset, Seeds: *seeds, Seed: *seed, Scale: *scale,
+		Annotation: *annotation, Workers: *workers, CrawlConcurrency: *crawl,
+		Parallelism: *parallel,
+	}
+	if *scales != "" || *seedList != "" {
+		g := &sweep.Grid{}
+		var err error
+		if g.Scales, err = parseFloats(*scales); err != nil {
+			fatalf("bad -scales: %v", err)
+		}
+		if g.Seeds, err = parseUints(*seedList); err != nil {
+			fatalf("bad -seed-list: %v", err)
+		}
+		spec.Grid = g
+	}
+	cells, err := spec.Cells()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ctx := context.Background()
+	var res *sweep.Result
+	switch {
+	case *remote != "" && *server:
+		fmt.Fprintf(os.Stderr, "==> sweep %s: %d cells via %s (server-side)\n", spec.Name(), len(cells), *remote)
+		env, err := studysvc.NewClient(*remote, nil).RunSweep(ctx, spec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if env.Status != studysvc.StatusDone || env.Result == nil {
+			fatalf("sweep %s %s: %s", env.ID, env.Status, env.Error)
+		}
+		fmt.Fprintf(os.Stderr, "sweep %s done on the server\n", env.ID)
+		res = env.Result
+	default:
+		var backend sweep.Backend = sweep.Local{}
+		mode := "local"
+		if *remote != "" {
+			backend = studysvc.Backend{Client: studysvc.NewClient(*remote, nil)}
+			mode = "remote via " + *remote + " (one POST /v1/study per cell)"
+		}
+		fmt.Fprintf(os.Stderr, "==> sweep %s: %d cells, parallelism %d, %s\n",
+			spec.Name(), len(cells), *parallel, mode)
+		opts := sweep.Options{Parallelism: *parallel, CellTimeout: *cellTimeout}
+		if !*quiet {
+			opts.OnCell = func(done, total int, o sweep.Outcome) {
+				status := "ok"
+				switch {
+				case o.Err != "":
+					status = "FAILED: " + o.Err
+				case o.Cached:
+					status = "cached"
+				}
+				fmt.Fprintf(os.Stderr, "    [%d/%d] cell %d (%s) %dms %s\n",
+					done, total, o.Index, o.Cell, o.ElapsedMS, status)
+			}
+		}
+		res = sweep.Run(ctx, spec.Name(), cells, backend, opts)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		fmt.Println(report.Sweep(res))
+	}
+	// A partially-failed sweep is a failure in every output mode: the
+	// ledger (text or JSON) has the details, the exit code the verdict.
+	if len(res.Errors) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ewsweep: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseUints(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// fnum renders a float compactly: integers without a fraction, small
+// values with enough precision to compare.
+func fnum(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	if v != 0 && v < 0.01 && v > -0.01 {
+		return fmt.Sprintf("%.2e", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// SweepGroup renders one cross-seed group as a mean ± CI table.
+func SweepGroup(g sweep.Group) string {
+	rows := make([][]string, 0, len(g.Artefacts))
+	for _, a := range g.Artefacts {
+		ci := "—"
+		if a.N > 1 {
+			ci = fmt.Sprintf("[%s, %s]", fnum(a.CILow), fnum(a.CIHigh))
+		}
+		rows = append(rows, []string{
+			a.Name, fmt.Sprint(a.N), fnum(a.Mean), fnum(a.Std), ci, fnum(a.Min), fnum(a.Max),
+		})
+	}
+	title := fmt.Sprintf("Cross-seed aggregate (scale=%g annotation=%d workers=%d crawl=%d; %d seeds)",
+		g.Scale, g.Annotation, g.Workers, g.CrawlConcurrency, len(g.Seeds))
+	return title + "\n" +
+		table([]string{"Artefact", "N", "Mean", "Std", "95% CI", "Min", "Max"}, rows)
+}
+
+// SweepStability renders the paper-vs-measured stability table.
+func SweepStability(rows []sweep.StabilityRow) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name, fnum(r.Paper), fnum(r.Mean),
+			fmt.Sprintf("[%s, %s]", fnum(r.CILow), fnum(r.CIHigh)),
+			fnum(r.Std), fnum(r.AbsErr),
+		})
+	}
+	return "Stability vs paper (scale-free artefacts, mean over seeds)\n" +
+		table([]string{"Artefact", "Paper", "Mean", "95% CI", "Std", "|Δ|"}, out)
+}
+
+// SweepSlopes renders the artefact-vs-scale sensitivity fits.
+func SweepSlopes(rows []sweep.Slope) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Name, fnum(r.Slope), fnum(r.Intercept), fmt.Sprintf("%.3f", r.R2)})
+	}
+	return "Scale sensitivity (least-squares fit of group mean vs scale)\n" +
+		table([]string{"Artefact", "Slope", "Intercept", "R²"}, out)
+}
+
+// Sweep renders a full sweep result: per-cell outcomes, the error
+// ledger and every aggregate table. cmd/ewsweep prints this for text
+// output.
+func Sweep(r *sweep.Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== sweep %s: %d cells, %d ok, %d failed, %s ===\n",
+		r.Name, len(r.Cells), r.OK(), len(r.Errors),
+		(time.Duration(r.ElapsedMS) * time.Millisecond).Round(time.Millisecond))
+
+	rows := make([][]string, 0, len(r.Cells))
+	for _, o := range r.Cells {
+		status := "ok"
+		switch {
+		case o.Err != "":
+			status = "FAILED"
+		case o.Cached:
+			status = "cached"
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(o.Index), fmt.Sprint(o.Cell.Seed), fmt.Sprintf("%g", o.Cell.Scale),
+			fmt.Sprint(o.Cell.Annotation), fmt.Sprint(o.Cell.Workers),
+			fmt.Sprint(o.Cell.CrawlConcurrency),
+			fmt.Sprintf("%dms", o.ElapsedMS), status,
+		})
+	}
+	sb.WriteString("\n")
+	sb.WriteString(table([]string{"#", "Seed", "Scale", "Annot", "Workers", "Crawl", "Time", "Status"}, rows))
+
+	if len(r.Errors) > 0 {
+		sb.WriteString("\nError ledger:\n")
+		for _, e := range r.Errors {
+			fmt.Fprintf(&sb, "  cell %d (%s): %s\n", e.Index, e.Cell, e.Err)
+		}
+	}
+	if r.Aggregate == nil {
+		return sb.String()
+	}
+	for _, g := range r.Aggregate.Groups {
+		sb.WriteString("\n")
+		sb.WriteString(SweepGroup(g))
+	}
+	if len(r.Aggregate.Stability) > 0 {
+		sb.WriteString("\n")
+		sb.WriteString(SweepStability(r.Aggregate.Stability))
+	}
+	if len(r.Aggregate.Slopes) > 0 {
+		sb.WriteString("\n")
+		sb.WriteString(SweepSlopes(r.Aggregate.Slopes))
+	}
+	return sb.String()
+}

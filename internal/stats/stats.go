@@ -307,6 +307,104 @@ func Gini(xs []float64) float64 {
 	return (2*weighted - (n+1)*cum) / (n * cum)
 }
 
+// tCrit95 holds two-sided 95% Student-t critical values for 1–30
+// degrees of freedom; larger samples fall back to the normal 1.96.
+// The sweep engine's confidence intervals typically aggregate 3–30
+// seeds, squarely inside the table.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for
+// the given degrees of freedom (NaN for df < 1).
+func TCritical95(df int) float64 {
+	switch {
+	case df < 1:
+		return math.NaN()
+	case df <= len(tCrit95):
+		return tCrit95[df-1]
+	default:
+		return 1.96
+	}
+}
+
+// Interval is a sample mean with its two-sided 95% confidence
+// interval and the sample extremes. A single observation has a
+// degenerate interval (Low == High == Mean): there is no variance
+// estimate to widen it with.
+type Interval struct {
+	N         int
+	Mean, Std float64
+	Low, High float64
+	HalfWidth float64
+	Min, Max  float64
+}
+
+// MeanCI95 computes the sample mean and its Student-t 95% confidence
+// interval. Empty samples return a zero Interval with NaN moments.
+func MeanCI95(xs []float64) Interval {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return Interval{Mean: nan, Std: nan, Low: nan, High: nan, Min: nan, Max: nan}
+	}
+	s := Summarize(xs)
+	iv := Interval{
+		N: s.N, Mean: s.Mean, Std: s.Std,
+		Low: s.Mean, High: s.Mean, Min: s.Min, Max: s.Max,
+	}
+	if s.N > 1 {
+		iv.HalfWidth = TCritical95(s.N-1) * s.Std / math.Sqrt(float64(s.N))
+		iv.Low = s.Mean - iv.HalfWidth
+		iv.High = s.Mean + iv.HalfWidth
+	}
+	return iv
+}
+
+// Fit is an ordinary-least-squares line y = Intercept + Slope*x.
+type Fit struct {
+	Slope, Intercept float64
+	// R2 is the coefficient of determination (1 for a perfect fit; 0
+	// when x explains nothing, or when y is constant).
+	R2 float64
+}
+
+// Linreg fits y = a + b*x by least squares. It panics if the slices
+// differ in length; it returns ok=false when fewer than two points are
+// given or every x is identical (the slope is undefined).
+func Linreg(xs, ys []float64) (Fit, bool) {
+	if len(xs) != len(ys) {
+		panic("stats: Linreg needs matched x/y samples")
+	}
+	if len(xs) < 2 {
+		return Fit{}, false
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, false
+	}
+	f := Fit{Slope: sxy / sxx}
+	f.Intercept = my - f.Slope*mx
+	if syy > 0 {
+		f.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return f, true
+}
+
 // TopShare returns the fraction of the total held by the k largest
 // values, e.g. "the top-50 earners account for 55.5% of reported
 // earnings".

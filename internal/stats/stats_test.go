@@ -245,6 +245,69 @@ func TestTopShare(t *testing.T) {
 	}
 }
 
+func TestMeanCI95(t *testing.T) {
+	// n=5, mean 3, std sqrt(2.5): t(4)=2.776.
+	xs := []float64{1, 2, 3, 4, 5}
+	iv := MeanCI95(xs)
+	if iv.N != 5 || math.Abs(iv.Mean-3) > 1e-12 {
+		t.Fatalf("mean = %+v", iv)
+	}
+	want := 2.776 * math.Sqrt(2.5) / math.Sqrt(5)
+	if math.Abs(iv.HalfWidth-want) > 1e-9 {
+		t.Fatalf("half-width = %v, want %v", iv.HalfWidth, want)
+	}
+	if math.Abs((iv.High-iv.Low)/2-iv.HalfWidth) > 1e-12 {
+		t.Fatal("interval not centred on the mean")
+	}
+	// Single observation: degenerate interval, no variance estimate.
+	one := MeanCI95([]float64{7})
+	if one.Low != 7 || one.High != 7 || one.HalfWidth != 0 {
+		t.Fatalf("single-sample interval = %+v", one)
+	}
+	if !math.IsNaN(MeanCI95(nil).Mean) {
+		t.Fatal("empty sample should be NaN")
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	if got := TCritical95(1); math.Abs(got-12.706) > 1e-9 {
+		t.Errorf("df=1: %v", got)
+	}
+	if got := TCritical95(30); math.Abs(got-2.042) > 1e-9 {
+		t.Errorf("df=30: %v", got)
+	}
+	if got := TCritical95(500); got != 1.96 {
+		t.Errorf("df=500: %v", got)
+	}
+	if !math.IsNaN(TCritical95(0)) {
+		t.Error("df=0 should be NaN")
+	}
+}
+
+func TestLinreg(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	fit, ok := Linreg(xs, ys)
+	if !ok || math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Fatalf("fit = %+v ok=%v", fit, ok)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+	// Constant y: slope 0, R2 0 (x explains nothing).
+	fit, ok = Linreg(xs, []float64{4, 4, 4, 4})
+	if !ok || fit.Slope != 0 || fit.R2 != 0 {
+		t.Fatalf("constant-y fit = %+v ok=%v", fit, ok)
+	}
+	// Degenerate inputs.
+	if _, ok := Linreg([]float64{1}, []float64{2}); ok {
+		t.Error("single point should not fit")
+	}
+	if _, ok := Linreg([]float64{2, 2}, []float64{1, 9}); ok {
+		t.Error("constant x should not fit")
+	}
+}
+
 func BenchmarkECDFBuild(b *testing.B) {
 	xs := make([]float64, 10000)
 	for i := range xs {

@@ -7,6 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/sweep"
 )
 
 // Client drives a remote study service — what cmd/ewpipeline -remote
@@ -27,12 +31,20 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 
 // Run submits a study request and waits for its result.
 func (c *Client) Run(ctx context.Context, r Request) (*Envelope, error) {
+	return c.run(ctx, r, "")
+}
+
+// run submits a study request with an optional raw query string.
+func (c *Client) run(ctx context.Context, r Request, query string) (*Envelope, error) {
 	body, err := json.Marshal(r)
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.BaseURL+"/v1/study", bytes.NewReader(body))
+	u := c.BaseURL + "/v1/study"
+	if query != "" {
+		u += "?" + query
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -86,6 +98,103 @@ func (c *Client) do(req *http.Request) (*Envelope, error) {
 		return nil, fmt.Errorf("studysvc: bad response: %w", err)
 	}
 	return &env, nil
+}
+
+// List fetches the run listing (cached and in-flight studies).
+func (c *Client) List(ctx context.Context) (*RunList, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/study", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var list RunList
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return nil, fmt.Errorf("studysvc: bad list response: %w", err)
+	}
+	return &list, nil
+}
+
+// RunSweep submits a sweep spec to POST /v1/sweep and waits for the
+// server-side sweep to finish.
+func (c *Client) RunSweep(ctx context.Context, spec sweep.Spec) (*SweepEnvelope, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.doSweep(req)
+}
+
+// GetSweep fetches a sweep run by id.
+func (c *Client) GetSweep(ctx context.Context, id string) (*SweepEnvelope, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/sweep/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.doSweep(req)
+}
+
+func (c *Client) doSweep(req *http.Request) (*SweepEnvelope, error) {
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, decodeError(resp)
+	}
+	var env SweepEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return nil, fmt.Errorf("studysvc: bad sweep response: %w", err)
+	}
+	return &env, nil
+}
+
+// Backend adapts the client to sweep.Backend: each cell becomes a POST
+// /v1/study against the live service. Running a sweep this way is load
+// generation — N concurrent study requests driving the service's
+// worker pool, coalescing and cache — while the aggregates stay
+// bit-identical to a local sweep, because the service computes each
+// cell's Summary with the same code.
+type Backend struct {
+	Client *Client
+}
+
+// RunCell submits one cell and waits for the service's answer. The
+// report is trimmed from the response: a sweep only folds summaries.
+func (b Backend) RunCell(ctx context.Context, cell sweep.Cell) (sweep.CellResult, error) {
+	env, err := b.Client.run(ctx, Request{
+		Seed: cell.Seed, Scale: cell.Scale, AnnotationSize: cell.Annotation,
+		Workers: cell.Workers, CrawlConcurrency: cell.CrawlConcurrency,
+	}, "report=false")
+	if err != nil {
+		return sweep.CellResult{}, err
+	}
+	if env.Status != StatusDone {
+		return sweep.CellResult{}, fmt.Errorf("studysvc: run %s %s: %s", env.ID, env.Status, env.Error)
+	}
+	if env.Summary == nil {
+		return sweep.CellResult{}, fmt.Errorf("studysvc: run %s returned no summary", env.ID)
+	}
+	return sweep.CellResult{
+		Summary: *env.Summary,
+		Elapsed: time.Duration(env.ElapsedMS) * time.Millisecond,
+		Cached:  env.Cached,
+	}, nil
 }
 
 func decodeError(resp *http.Response) error {

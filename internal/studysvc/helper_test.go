@@ -1,6 +1,7 @@
 package studysvc
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"net/http"
@@ -26,4 +27,14 @@ func directReport(t *testing.T, r Request) string {
 func jsonDecode(resp *http.Response, v any) error {
 	defer resp.Body.Close()
 	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// jsonBody marshals v as a request body.
+func jsonBody(t *testing.T, v any) *bytes.Reader {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(data)
 }

@@ -6,7 +6,10 @@
 // requests in flight share one run, and total concurrency is bounded.
 //
 //	POST /v1/study        run (or fetch) a study; body: {"seed":2019,"scale":0.05,...}
+//	GET  /v1/study        list cached and in-flight runs
 //	GET  /v1/study/{id}   fetch a run by id
+//	POST /v1/sweep        run a scenario sweep server-side (sweepsvc.go)
+//	GET  /v1/sweep/{id}   fetch a sweep by id
 //	GET  /v1/stats        service counters
 //
 // Three mechanisms keep the service safe under heavy traffic:
@@ -27,13 +30,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/pipeline"
 	"repro/internal/report"
+	"repro/internal/sweep"
 	"repro/internal/synth"
 )
 
@@ -48,9 +54,14 @@ type Config struct {
 	// 1.0 — paper scale).
 	MaxScale float64
 	// MaxWorkers rejects requests asking for more per-stage workers
-	// than this (default 32): worker counts size real goroutine pools,
-	// so an unbounded value is a one-request denial of service.
+	// (or crawler workers) than this (default 32): worker counts size
+	// real goroutine pools, so an unbounded value is a one-request
+	// denial of service.
 	MaxWorkers int
+	// MaxSweepCells rejects sweep requests with more cells than this
+	// (default 64): each cell is a full study, so a sweep is the
+	// service's most expensive request by far.
+	MaxSweepCells int
 }
 
 func (c Config) withDefaults() Config {
@@ -66,26 +77,31 @@ func (c Config) withDefaults() Config {
 	if c.MaxWorkers <= 0 {
 		c.MaxWorkers = 32
 	}
+	if c.MaxSweepCells <= 0 {
+		c.MaxSweepCells = 64
+	}
 	return c
 }
 
 // Request is the POST /v1/study body. Zero fields take the study's
 // defaults.
 type Request struct {
-	Seed           uint64  `json:"seed"`
-	Scale          float64 `json:"scale"`
-	AnnotationSize int     `json:"annotation_size"`
-	Workers        int     `json:"workers"`
+	Seed             uint64  `json:"seed"`
+	Scale            float64 `json:"scale"`
+	AnnotationSize   int     `json:"annotation_size"`
+	Workers          int     `json:"workers"`
+	CrawlConcurrency int     `json:"crawl_concurrency"`
 }
 
 // Canonical is a fully-defaulted request: the cache key domain. Two
 // requests naming the same world in different ways (omitted fields vs
 // explicit defaults) canonicalize identically and share one run.
 type Canonical struct {
-	Seed           uint64  `json:"seed"`
-	Scale          float64 `json:"scale"`
-	AnnotationSize int     `json:"annotation_size"`
-	Workers        int     `json:"workers"`
+	Seed             uint64  `json:"seed"`
+	Scale            float64 `json:"scale"`
+	AnnotationSize   int     `json:"annotation_size"`
+	Workers          int     `json:"workers"`
+	CrawlConcurrency int     `json:"crawl_concurrency"`
 }
 
 // canonicalize applies the same defaulting core.NewStudy and
@@ -93,7 +109,10 @@ type Canonical struct {
 // key always matches what actually runs.
 func canonicalize(r Request) Canonical {
 	def := core.DefaultOptions()
-	c := Canonical{Seed: r.Seed, Scale: r.Scale, AnnotationSize: r.AnnotationSize, Workers: r.Workers}
+	c := Canonical{
+		Seed: r.Seed, Scale: r.Scale, AnnotationSize: r.AnnotationSize,
+		Workers: r.Workers, CrawlConcurrency: r.CrawlConcurrency,
+	}
 	if c.Seed == 0 {
 		c.Seed = def.Synth.Seed
 	}
@@ -106,7 +125,20 @@ func canonicalize(r Request) Canonical {
 	if c.Workers < 0 {
 		c.Workers = 0
 	}
+	if c.CrawlConcurrency <= 0 {
+		c.CrawlConcurrency = def.CrawlConcurrency
+	}
 	return c
+}
+
+// fromCell canonicalizes a sweep cell — cells are already normalized
+// with the same defaults, so this is the identity on the values, just
+// a type change.
+func fromCell(c sweep.Cell) Canonical {
+	return canonicalize(Request{
+		Seed: c.Seed, Scale: c.Scale, AnnotationSize: c.Annotation,
+		Workers: c.Workers, CrawlConcurrency: c.CrawlConcurrency,
+	})
 }
 
 // key renders the canonical options as the cache key.
@@ -114,59 +146,26 @@ func (c Canonical) key() string {
 	return "seed=" + strconv.FormatUint(c.Seed, 10) +
 		"|scale=" + strconv.FormatFloat(c.Scale, 'g', -1, 64) +
 		"|annotation=" + strconv.Itoa(c.AnnotationSize) +
-		"|workers=" + strconv.Itoa(c.Workers)
+		"|workers=" + strconv.Itoa(c.Workers) +
+		"|crawl=" + strconv.Itoa(c.CrawlConcurrency)
 }
 
 // coreOptions expands the canonical options for core.NewStudy.
 func (c Canonical) coreOptions() core.Options {
 	return core.Options{
-		Synth:          synth.Config{Seed: c.Seed, Scale: c.Scale},
-		AnnotationSize: c.AnnotationSize,
-		Workers:        c.Workers,
+		Synth:            synth.Config{Seed: c.Seed, Scale: c.Scale},
+		AnnotationSize:   c.AnnotationSize,
+		Workers:          c.Workers,
+		CrawlConcurrency: c.CrawlConcurrency,
 	}
 }
 
 // Summary carries the study's headline numbers — the figures the
 // paper's abstract quotes, not the full tables (those are in Report).
-type Summary struct {
-	EWhoringThreads int     `json:"ewhoring_threads"`
-	Forums          int     `json:"forums"`
-	TOPs            int     `json:"tops"`
-	CrawlTasks      int     `json:"crawl_tasks"`
-	UniqueImages    int     `json:"unique_images"`
-	PhotoDNAMatches int     `json:"photodna_matches"`
-	NSFVPreviews    int     `json:"nsfv_previews"`
-	PacksMatched    int     `json:"packs_matched"`
-	PacksTotal      int     `json:"packs_total"`
-	PreviewsMatched int     `json:"previews_matched"`
-	PreviewsTotal   int     `json:"previews_total"`
-	MatchedDomains  int     `json:"matched_domains"`
-	Proofs          int     `json:"proofs"`
-	TotalUSD        float64 `json:"total_usd"`
-	Profiles        int     `json:"profiles"`
-	KeyActors       int     `json:"key_actors"`
-}
-
-func summarize(res *core.Results) Summary {
-	return Summary{
-		EWhoringThreads: len(res.EWhoringThreads),
-		Forums:          len(res.Table1),
-		TOPs:            len(res.Classifier.Extract.TOPs),
-		CrawlTasks:      res.CrawlStats.Tasks,
-		UniqueImages:    res.CrawlStats.UniqueImages,
-		PhotoDNAMatches: res.PhotoDNA.Matches,
-		NSFVPreviews:    len(res.NSFV.Previews),
-		PacksMatched:    res.Provenance.Packs.Matched,
-		PacksTotal:      res.Provenance.Packs.Total,
-		PreviewsMatched: res.Provenance.Previews.Matched,
-		PreviewsTotal:   res.Provenance.Previews.Total,
-		MatchedDomains:  len(res.Provenance.Domains),
-		Proofs:          res.Earnings.Summary.Proofs,
-		TotalUSD:        res.Earnings.Summary.TotalUSD,
-		Profiles:        len(res.Actors.Profiles),
-		KeyActors:       len(res.Actors.Key.All),
-	}
-}
+// It is an alias of sweep.Summary: the sweep aggregators and the
+// service wire format share one definition, so a remote sweep folds
+// exactly the numbers a local one does.
+type Summary = sweep.Summary
 
 // Run statuses.
 const (
@@ -259,6 +258,11 @@ type Service struct {
 	cache    map[string]*list.Element // key → element whose Value is *run
 	failed   []string                 // failed run ids, oldest first (bounded)
 	nextID   int
+
+	// sweeps holds server-side sweep runs by id (bounded FIFO).
+	sweeps     map[string]*sweepRun
+	sweepOrder []string
+	nextSweep  int
 }
 
 // New builds a service.
@@ -271,6 +275,7 @@ func New(cfg Config) *Service {
 		byID:     make(map[string]*run),
 		order:    list.New(),
 		cache:    make(map[string]*list.Element),
+		sweeps:   make(map[string]*sweepRun),
 	}
 }
 
@@ -317,7 +322,7 @@ func (s *Service) execute(r *run) {
 	elapsed := time.Since(start)
 
 	if err == nil {
-		sum := summarize(res)
+		sum := sweep.Summarize(res)
 		r.summary = &sum
 		r.stages = study.PipelineStats()
 		r.report = report.Full(res)
@@ -375,9 +380,27 @@ func (s *Service) Stats() Stats {
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/study", s.handleRun)
+	mux.HandleFunc("GET /v1/study", s.handleList)
 	mux.HandleFunc("GET /v1/study/{id}", s.handleGet)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/sweep/{id}", s.handleSweepGet)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
+}
+
+// validate enforces the service's resource limits on one canonical
+// request; it returns a non-empty reason when the request is rejected.
+func (s *Service) validate(c Canonical) string {
+	if c.Scale > s.cfg.MaxScale {
+		return fmt.Sprintf("scale %g exceeds the service limit %g", c.Scale, s.cfg.MaxScale)
+	}
+	if c.Workers > s.cfg.MaxWorkers {
+		return fmt.Sprintf("workers %d exceeds the service limit %d", c.Workers, s.cfg.MaxWorkers)
+	}
+	if c.CrawlConcurrency > s.cfg.MaxWorkers {
+		return fmt.Sprintf("crawl concurrency %d exceeds the service limit %d", c.CrawlConcurrency, s.cfg.MaxWorkers)
+	}
+	return ""
 }
 
 func (s *Service) handleRun(w http.ResponseWriter, req *http.Request) {
@@ -389,21 +412,14 @@ func (s *Service) handleRun(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	c := canonicalize(in)
-	if c.Scale > s.cfg.MaxScale {
-		httpError(w, http.StatusUnprocessableEntity,
-			fmt.Sprintf("scale %g exceeds the service limit %g", c.Scale, s.cfg.MaxScale))
-		return
-	}
-	if c.Workers > s.cfg.MaxWorkers {
-		httpError(w, http.StatusUnprocessableEntity,
-			fmt.Sprintf("workers %d exceeds the service limit %d", c.Workers, s.cfg.MaxWorkers))
+	if reason := s.validate(c); reason != "" {
+		httpError(w, http.StatusUnprocessableEntity, reason)
 		return
 	}
 
 	r, cached := s.getOrStart(c)
 	if req.URL.Query().Get("wait") == "false" {
-		w.WriteHeader(http.StatusAccepted)
-		writeJSON(w, r.envelope(cached, false))
+		writeJSONStatus(w, http.StatusAccepted, r.envelope(cached, false))
 		return
 	}
 	select {
@@ -434,6 +450,71 @@ func (s *Service) handleGet(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, r.envelope(false, wantReport(req)))
 }
 
+// RunInfo is one row of the GET /v1/study listing: enough for a sweep
+// client or an operator to inspect the LRU and the in-flight table
+// without guessing ids.
+type RunInfo struct {
+	ID      string    `json:"id"`
+	Status  string    `json:"status"`
+	Options Canonical `json:"options"`
+	// Cached reports that the run's result sits in the LRU cache.
+	Cached    bool  `json:"cached"`
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+}
+
+// RunList is the GET /v1/study response.
+type RunList struct {
+	Runs []RunInfo `json:"runs"`
+}
+
+// List snapshots every addressable run: in-flight first (oldest
+// started first), then cached results from most to least recently
+// used, then retained failures (oldest first).
+func (s *Service) List() RunList {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := RunList{Runs: []RunInfo{}}
+	inflight := make([]*run, 0, len(s.inflight))
+	for _, r := range s.inflight {
+		inflight = append(inflight, r)
+	}
+	// Ids are "s-N" with N monotonically increasing: numeric order is
+	// start order.
+	sort.Slice(inflight, func(i, j int) bool {
+		return runSeq(inflight[i].id) < runSeq(inflight[j].id)
+	})
+	for _, r := range inflight {
+		out.Runs = append(out.Runs, RunInfo{ID: r.id, Status: StatusRunning, Options: r.opts})
+	}
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		r := el.Value.(*run)
+		out.Runs = append(out.Runs, RunInfo{
+			ID: r.id, Status: r.status, Options: r.opts,
+			Cached: true, ElapsedMS: r.elapsed.Milliseconds(),
+		})
+	}
+	for _, id := range s.failed {
+		if r, ok := s.byID[id]; ok {
+			out.Runs = append(out.Runs, RunInfo{ID: r.id, Status: r.status, Options: r.opts})
+		}
+	}
+	return out
+}
+
+// runSeq extracts the numeric suffix of a run id ("s-12" → 12).
+func runSeq(id string) int {
+	if i := strings.LastIndexByte(id, '-'); i >= 0 {
+		if n, err := strconv.Atoi(id[i+1:]); err == nil {
+			return n
+		}
+	}
+	return 0
+}
+
+func (s *Service) handleList(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, s.List())
+}
+
 func (s *Service) handleStats(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, s.Stats())
 }
@@ -456,5 +537,14 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONStatus writes a JSON body under a non-200 status. The
+// Content-Type must be set before WriteHeader — mutations after it are
+// silently dropped.
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
 }

@@ -1,0 +1,167 @@
+package studysvc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// The sweep endpoints run a whole scenario sweep server-side:
+//
+//	POST /v1/sweep        run a sweep; body: a sweep.Spec ({"preset":...} or {"grid":...})
+//	GET  /v1/sweep/{id}   fetch a sweep by id (wait=true blocks)
+//
+// Every cell goes through the same getOrStart path as POST /v1/study,
+// so a server-side sweep exercises — and benefits from — the worker
+// pool, in-flight coalescing and the LRU result cache: cells another
+// client already ran are cache hits, identical cells in one sweep
+// coalesce, and study concurrency stays bounded no matter how large
+// the grid is.
+
+// serviceBackend adapts the service's own run table to sweep.Backend.
+type serviceBackend struct {
+	svc *Service
+}
+
+// RunCell routes one sweep cell through getOrStart and waits for the
+// run to finish.
+func (b serviceBackend) RunCell(ctx context.Context, c sweep.Cell) (sweep.CellResult, error) {
+	r, cached := b.svc.getOrStart(fromCell(c))
+	select {
+	case <-r.done:
+	case <-ctx.Done():
+		return sweep.CellResult{}, ctx.Err()
+	}
+	if r.status != StatusDone {
+		return sweep.CellResult{}, fmt.Errorf("study %s failed: %s", r.id, r.errMsg)
+	}
+	return sweep.CellResult{Summary: *r.summary, Elapsed: r.elapsed, Cached: cached}, nil
+}
+
+// SweepEnvelope is the wire form of one sweep run.
+type SweepEnvelope struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Name   string `json:"name"`
+	// CellsPlanned is known from submission time, before the result.
+	CellsPlanned int           `json:"cells_planned"`
+	Error        string        `json:"error,omitempty"`
+	Result       *sweep.Result `json:"result,omitempty"`
+}
+
+// sweepRun is one server-side sweep execution and its lifecycle.
+type sweepRun struct {
+	id    string
+	name  string
+	cells []sweep.Cell
+	done  chan struct{} // closed when the sweep finishes
+
+	// Written once before done closes, read-only after.
+	result *sweep.Result
+}
+
+func (r *sweepRun) envelope() SweepEnvelope {
+	env := SweepEnvelope{ID: r.id, Name: r.name, CellsPlanned: len(r.cells)}
+	select {
+	case <-r.done:
+		env.Status = StatusDone
+		env.Result = r.result
+	default:
+		env.Status = StatusRunning
+	}
+	return env
+}
+
+// startSweep registers and launches a sweep run.
+func (s *Service) startSweep(name string, cells []sweep.Cell, parallelism int) *sweepRun {
+	s.mu.Lock()
+	s.nextSweep++
+	r := &sweepRun{
+		id:    "sw-" + strconv.Itoa(s.nextSweep),
+		name:  name,
+		cells: cells,
+		done:  make(chan struct{}),
+	}
+	s.sweeps[r.id] = r
+	s.sweepOrder = append(s.sweepOrder, r.id)
+	// Bound the bookkeeping: sweeps carry full results, keep the last 32.
+	for len(s.sweepOrder) > 32 {
+		delete(s.sweeps, s.sweepOrder[0])
+		s.sweepOrder = s.sweepOrder[1:]
+	}
+	s.mu.Unlock()
+
+	go func() {
+		// Cell failures land in the sweep's own error ledger
+		// (fail-soft), so the sweep itself always completes.
+		r.result = sweep.Run(context.Background(), name, cells, serviceBackend{s}, sweep.Options{
+			Parallelism: parallelism,
+			CellTimeout: 10 * time.Minute,
+		})
+		close(r.done)
+	}()
+	return r
+}
+
+func (s *Service) handleSweep(w http.ResponseWriter, req *http.Request) {
+	var spec sweep.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad sweep spec: %v", err))
+		return
+	}
+	cells, err := spec.Cells()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(cells) > s.cfg.MaxSweepCells {
+		httpError(w, http.StatusUnprocessableEntity,
+			fmt.Sprintf("sweep plans %d cells, service limit is %d", len(cells), s.cfg.MaxSweepCells))
+		return
+	}
+	for _, c := range cells {
+		if reason := s.validate(fromCell(c)); reason != "" {
+			httpError(w, http.StatusUnprocessableEntity, fmt.Sprintf("cell %s: %s", c, reason))
+			return
+		}
+	}
+
+	r := s.startSweep(spec.Name(), cells, spec.Parallelism)
+	if req.URL.Query().Get("wait") == "false" {
+		writeJSONStatus(w, http.StatusAccepted, r.envelope())
+		return
+	}
+	select {
+	case <-r.done:
+	case <-req.Context().Done():
+		// Client gone; the sweep keeps running and stays fetchable.
+		return
+	}
+	writeJSON(w, r.envelope())
+}
+
+func (s *Service) handleSweepGet(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	s.mu.Lock()
+	r, ok := s.sweeps[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such sweep run (the service keeps the last 32)")
+		return
+	}
+	if req.URL.Query().Get("wait") == "true" {
+		select {
+		case <-r.done:
+		case <-req.Context().Done():
+			return
+		}
+	}
+	writeJSON(w, r.envelope())
+}

@@ -1,0 +1,205 @@
+package studysvc
+
+import (
+	"context"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// tinySpec is a 2-seed cross-seed sweep small enough for tests.
+func tinySpec() sweep.Spec {
+	return sweep.Spec{
+		Preset: sweep.PresetCrossSeed, Seeds: 2,
+		Scale: 0.01, Annotation: 200, Parallelism: 2,
+	}
+}
+
+// TestServerSideSweep runs a sweep through POST /v1/sweep and checks
+// it rides the study cache: the second identical sweep starts zero new
+// runs and answers every cell from the LRU.
+func TestServerSideSweep(t *testing.T) {
+	svc, c := newTestService(t, Config{MaxConcurrentRuns: 2})
+	ctx := context.Background()
+
+	env, err := c.RunSweep(ctx, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Status != StatusDone || env.Result == nil {
+		t.Fatalf("sweep not done: %+v", env)
+	}
+	if env.Result.OK() != 2 || len(env.Result.Aggregate.Groups) != 1 {
+		t.Fatalf("sweep result wrong shape: ok=%d", env.Result.OK())
+	}
+	st := svc.Stats()
+	if st.RunsStarted != 2 {
+		t.Fatalf("runs started = %d, want 2 (one per distinct cell)", st.RunsStarted)
+	}
+
+	env2, err := c.RunSweep(ctx, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = svc.Stats()
+	if st.RunsStarted != 2 {
+		t.Fatalf("identical sweep started %d new runs, want 0", st.RunsStarted-2)
+	}
+	if st.CacheHits < 2 {
+		t.Fatalf("cache hits = %d, want >= 2 (sweep cells must hit the LRU)", st.CacheHits)
+	}
+	for _, o := range env2.Result.Cells {
+		if !o.Cached {
+			t.Fatalf("cell %d not served from cache on the second sweep", o.Index)
+		}
+	}
+	if !reflect.DeepEqual(env.Result.Aggregate, env2.Result.Aggregate) {
+		t.Fatal("cached sweep aggregates differ from the first run")
+	}
+	// The sweep stays fetchable by id.
+	got, err := c.GetSweep(ctx, env.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusDone || got.Result == nil {
+		t.Fatalf("GetSweep(%s) = %+v", env.ID, got)
+	}
+}
+
+// TestRemoteSweepMatchesLocal pins the acceptance criterion: a sweep
+// driven cell-by-cell through the client backend against a live
+// service produces aggregates identical to the in-process sweep, and
+// the sweep traffic shows up in the service counters.
+func TestRemoteSweepMatchesLocal(t *testing.T) {
+	svc, c := newTestService(t, Config{MaxConcurrentRuns: 2})
+	ctx := context.Background()
+	cells, err := tinySpec().Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local := sweep.Run(ctx, "pair", cells, sweep.Local{}, sweep.Options{Parallelism: 2})
+	remote := sweep.Run(ctx, "pair", cells, Backend{Client: c}, sweep.Options{Parallelism: 2})
+	if len(local.Errors) != 0 || len(remote.Errors) != 0 {
+		t.Fatalf("errors: local=%v remote=%v", local.Errors, remote.Errors)
+	}
+	if !reflect.DeepEqual(local.Aggregate, remote.Aggregate) {
+		t.Fatalf("remote aggregates differ from local:\n%+v\nvs\n%+v", remote.Aggregate, local.Aggregate)
+	}
+	for i := range cells {
+		if !reflect.DeepEqual(local.Cells[i].Summary, remote.Cells[i].Summary) {
+			t.Fatalf("cell %d summary differs local vs remote", i)
+		}
+	}
+	st := svc.Stats()
+	if st.RunsStarted != int64(len(cells)) || st.RunsCompleted != int64(len(cells)) {
+		t.Fatalf("service saw %d/%d runs, want %d", st.RunsStarted, st.RunsCompleted, len(cells))
+	}
+}
+
+// TestSweepValidation: oversized cells and unknown presets are
+// rejected before any study runs.
+func TestSweepValidation(t *testing.T) {
+	svc, c := newTestService(t, Config{MaxScale: 0.02, MaxSweepCells: 4})
+	ctx := context.Background()
+
+	if _, err := c.RunSweep(ctx, sweep.Spec{Scale: 0.5}); err == nil {
+		t.Fatal("oversized scale accepted")
+	}
+	if _, err := c.RunSweep(ctx, sweep.Spec{Preset: "bogus"}); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if _, err := c.RunSweep(ctx, sweep.Spec{Preset: sweep.PresetCrossSeed, Seeds: 10, Scale: 0.01}); err == nil {
+		t.Fatal("10-cell sweep accepted over a 4-cell limit")
+	}
+	if st := svc.Stats(); st.RunsStarted != 0 {
+		t.Fatalf("rejected sweeps started %d runs", st.RunsStarted)
+	}
+}
+
+// TestStudyListing covers GET /v1/study: cached and in-flight runs are
+// visible with their options, so operators don't have to guess ids.
+func TestStudyListing(t *testing.T) {
+	_, c := newTestService(t, Config{})
+	ctx := context.Background()
+
+	env, err := c.Run(ctx, Request{Seed: 31, Scale: 0.01, AnnotationSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	list, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Runs) != 1 {
+		t.Fatalf("listed %d runs, want 1", len(list.Runs))
+	}
+	r := list.Runs[0]
+	if r.ID != env.ID || !r.Cached || r.Status != StatusDone {
+		t.Fatalf("listing row = %+v, want cached done run %s", r, env.ID)
+	}
+	if r.Options.Seed != 31 || r.Options.Scale != 0.01 || r.Options.AnnotationSize != 200 {
+		t.Fatalf("listing options = %+v", r.Options)
+	}
+	// The listed id is directly fetchable — no guessing.
+	if _, err := c.Get(ctx, r.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrawlConcurrencyCanonicalization: the crawl knob is part of the
+// cache key, defaults like the study itself, and is bounded.
+func TestCrawlConcurrencyCanonicalization(t *testing.T) {
+	a := canonicalize(Request{})
+	b := canonicalize(Request{CrawlConcurrency: 8})
+	if a.key() != b.key() {
+		t.Fatalf("default crawl concurrency should canonicalize to 8: %q vs %q", a.key(), b.key())
+	}
+	if c := canonicalize(Request{CrawlConcurrency: 4}); c.key() == a.key() {
+		t.Fatal("distinct crawl concurrency collapsed into one key")
+	}
+
+	_, cl := newTestService(t, Config{MaxWorkers: 8})
+	if _, err := cl.Run(context.Background(), Request{Scale: 0.01, CrawlConcurrency: 64}); err == nil {
+		t.Fatal("oversized crawl concurrency accepted")
+	}
+}
+
+// TestSweepAsyncSubmit covers wait=false + GET /v1/sweep/{id}?wait=true.
+func TestSweepAsyncSubmit(t *testing.T) {
+	_, c := newTestService(t, Config{})
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v1/sweep?wait=false",
+		jsonBody(t, tinySpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env SweepEnvelope
+	if err := jsonDecode(resp, &env); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted || env.ID == "" {
+		t.Fatalf("async submit: status %d, env %+v", resp.StatusCode, env)
+	}
+	if env.CellsPlanned != 2 {
+		t.Fatalf("cells planned = %d, want 2", env.CellsPlanned)
+	}
+
+	resp, err = c.HTTP.Get(c.BaseURL + "/v1/sweep/" + env.ID + "?wait=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SweepEnvelope
+	if err := jsonDecode(resp, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusDone || got.Result == nil || got.Result.OK() != 2 {
+		t.Fatalf("polled sweep = %+v", got)
+	}
+}

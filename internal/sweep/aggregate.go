@@ -1,0 +1,195 @@
+package sweep
+
+import (
+	"repro/internal/stats"
+)
+
+// ArtefactAgg is one artefact's cross-seed statistics inside a group.
+type ArtefactAgg struct {
+	Name string  `json:"name"`
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	// CILow/CIHigh bound the two-sided Student-t 95% confidence
+	// interval of the mean.
+	CILow  float64 `json:"ci_low"`
+	CIHigh float64 `json:"ci_high"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// Group is the cross-seed aggregate for one non-seed parameter
+// combination: every artefact's mean / stddev / 95% CI over the seeds
+// that ran at these parameters.
+type Group struct {
+	Scale            float64 `json:"scale"`
+	Annotation       int     `json:"annotation_size"`
+	Workers          int     `json:"workers"`
+	CrawlConcurrency int     `json:"crawl_concurrency"`
+	// Seeds lists the seeds aggregated, in plan order.
+	Seeds     []uint64      `json:"seeds"`
+	Artefacts []ArtefactAgg `json:"artefacts"`
+}
+
+// StabilityRow compares one scale-free artefact's cross-seed interval
+// against the paper's published value — EXPERIMENTS.md's single-seed
+// column generalized to many seeds.
+type StabilityRow struct {
+	Name   string  `json:"name"`
+	Paper  float64 `json:"paper"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"`
+	CILow  float64 `json:"ci_low"`
+	CIHigh float64 `json:"ci_high"`
+	// AbsErr is |mean - paper|.
+	AbsErr float64 `json:"abs_err"`
+}
+
+// Slope is one artefact's scale sensitivity: a least-squares fit of
+// the per-scale group means against scale. Count artefacts should grow
+// with scale (positive slope, high R²); calibrated rates should not
+// (slope near zero relative to the mean).
+type Slope struct {
+	Name      string  `json:"name"`
+	Slope     float64 `json:"slope"`
+	Intercept float64 `json:"intercept"`
+	R2        float64 `json:"r2"`
+}
+
+// Aggregate is everything the sweep derives from its cells'
+// summaries. It is a pure function of the successful outcomes in plan
+// order, so two identical sweeps aggregate identically.
+type Aggregate struct {
+	// Groups holds cross-seed statistics per non-seed parameter
+	// combination, ordered by (scale, annotation, workers, crawl).
+	Groups []Group `json:"groups"`
+	// Stability compares rate artefacts against the paper for the
+	// first group (present when that group has at least two seeds).
+	Stability []StabilityRow `json:"stability,omitempty"`
+	// Slopes holds artefact-vs-scale fits (present when the sweep
+	// spans at least two scales at otherwise-identical parameters).
+	Slopes []Slope `json:"slopes,omitempty"`
+}
+
+// aggregate folds the outcomes. Only successful cells contribute;
+// order of contribution is plan order, never completion order.
+func aggregate(outcomes []Outcome) *Aggregate {
+	// Group artefact values by non-seed parameters, preserving plan
+	// order within each group.
+	byGroup := make(map[groupKey][]Outcome)
+	var keys []groupKey
+	for _, o := range outcomes {
+		if o.Summary == nil {
+			continue
+		}
+		k := groupKey{o.Cell.Scale, o.Cell.Annotation, o.Cell.Workers, o.Cell.CrawlConcurrency}
+		if _, seen := byGroup[k]; !seen {
+			keys = append(keys, k)
+		}
+		byGroup[k] = append(byGroup[k], o)
+	}
+	if len(keys) == 0 {
+		return &Aggregate{}
+	}
+	sortGroupKeys(keys)
+
+	agg := &Aggregate{}
+	for _, k := range keys {
+		group := Group{
+			Scale: k.Scale, Annotation: k.Annotation,
+			Workers: k.Workers, CrawlConcurrency: k.CrawlConcurrency,
+		}
+		members := byGroup[k]
+		// Column-major fold: artefact i over every member summary.
+		names := members[0].Summary.Artefacts()
+		values := make([][]float64, len(names))
+		for _, o := range members {
+			group.Seeds = append(group.Seeds, o.Cell.Seed)
+			for i, a := range o.Summary.Artefacts() {
+				values[i] = append(values[i], a.Value)
+			}
+		}
+		for i, a := range names {
+			iv := stats.MeanCI95(values[i])
+			group.Artefacts = append(group.Artefacts, ArtefactAgg{
+				Name: a.Name, N: iv.N, Mean: iv.Mean, Std: iv.Std,
+				CILow: iv.Low, CIHigh: iv.High, Min: iv.Min, Max: iv.Max,
+			})
+		}
+		agg.Groups = append(agg.Groups, group)
+	}
+
+	agg.Stability = stability(agg.Groups[0])
+	agg.Slopes = slopes(agg.Groups)
+	return agg
+}
+
+// stability builds the paper-vs-measured table for one group.
+func stability(g Group) []StabilityRow {
+	if len(g.Seeds) < 2 {
+		return nil
+	}
+	byName := make(map[string]ArtefactAgg, len(g.Artefacts))
+	for _, a := range g.Artefacts {
+		byName[a.Name] = a
+	}
+	var rows []StabilityRow
+	for _, p := range PaperValues() {
+		a, ok := byName[p.Name]
+		if !ok {
+			continue
+		}
+		d := a.Mean - p.Value
+		if d < 0 {
+			d = -d
+		}
+		rows = append(rows, StabilityRow{
+			Name: p.Name, Paper: p.Value, Mean: a.Mean, Std: a.Std,
+			CILow: a.CILow, CIHigh: a.CIHigh, AbsErr: d,
+		})
+	}
+	return rows
+}
+
+// slopes fits artefact-vs-scale lines over groups that differ only in
+// scale. It requires a single non-scale parameter combination (the
+// scale-sensitivity preset's shape); mixed grids skip the fit rather
+// than conflate axes.
+func slopes(groups []Group) []Slope {
+	type rest struct {
+		Annotation, Workers, CrawlConcurrency int
+	}
+	combos := make(map[rest][]Group)
+	for _, g := range groups {
+		k := rest{g.Annotation, g.Workers, g.CrawlConcurrency}
+		combos[k] = append(combos[k], g)
+	}
+	if len(combos) != 1 {
+		return nil
+	}
+	var ladder []Group
+	for _, gs := range combos {
+		ladder = gs
+	}
+	if len(ladder) < 2 {
+		return nil
+	}
+	// Groups arrive sorted by scale already (sortGroupKeys).
+	xs := make([]float64, len(ladder))
+	for i, g := range ladder {
+		xs[i] = g.Scale
+	}
+	var out []Slope
+	for i, a := range ladder[0].Artefacts {
+		ys := make([]float64, len(ladder))
+		for j, g := range ladder {
+			ys[j] = g.Artefacts[i].Mean
+		}
+		fit, ok := stats.Linreg(xs, ys)
+		if !ok {
+			continue
+		}
+		out = append(out, Slope{Name: a.Name, Slope: fit.Slope, Intercept: fit.Intercept, R2: fit.R2})
+	}
+	return out
+}

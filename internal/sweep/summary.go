@@ -1,0 +1,158 @@
+package sweep
+
+import (
+	"repro/internal/core"
+)
+
+// Summary carries one study's headline numbers — the figures the
+// paper's abstract quotes plus the rate artefacts EXPERIMENTS.md
+// compares against the paper. It is the per-cell measurement the sweep
+// aggregators consume, and also the wire form studysvc serves (the
+// service aliases this type), so two sides of a remote sweep always
+// agree on what a study produced.
+type Summary struct {
+	EWhoringThreads int     `json:"ewhoring_threads"`
+	Forums          int     `json:"forums"`
+	TOPs            int     `json:"tops"`
+	CrawlTasks      int     `json:"crawl_tasks"`
+	UniqueImages    int     `json:"unique_images"`
+	PhotoDNAMatches int     `json:"photodna_matches"`
+	NSFVPreviews    int     `json:"nsfv_previews"`
+	PacksMatched    int     `json:"packs_matched"`
+	PacksTotal      int     `json:"packs_total"`
+	PreviewsMatched int     `json:"previews_matched"`
+	PreviewsTotal   int     `json:"previews_total"`
+	MatchedDomains  int     `json:"matched_domains"`
+	Proofs          int     `json:"proofs"`
+	TotalUSD        float64 `json:"total_usd"`
+	Profiles        int     `json:"profiles"`
+	KeyActors       int     `json:"key_actors"`
+
+	// Rate artefacts: scale-free, so they compare across worlds of
+	// different sizes and against the paper's full-scale numbers.
+	Precision        float64 `json:"precision"`
+	Recall           float64 `json:"recall"`
+	F1               float64 `json:"f1"`
+	TOPsWithLinksPct float64 `json:"tops_with_links_pct"`
+	NSFVPreviewRate  float64 `json:"nsfv_preview_rate"`
+	PackMatchRate    float64 `json:"pack_match_rate"`
+	PackSeenRate     float64 `json:"pack_seen_rate"`
+	PreviewMatchRate float64 `json:"preview_match_rate"`
+	PreviewSeenRate  float64 `json:"preview_seen_rate"`
+	MeanProofUSD     float64 `json:"mean_proof_usd"`
+	MeanActorUSD     float64 `json:"mean_actor_usd"`
+}
+
+// pct returns 100*num/den, 0 for an empty denominator (a degenerate
+// world, not a division error).
+func pct(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// Summarize extracts the headline numbers from a completed study.
+func Summarize(res *core.Results) Summary {
+	s := Summary{
+		EWhoringThreads: len(res.EWhoringThreads),
+		Forums:          len(res.Table1),
+		TOPs:            len(res.Classifier.Extract.TOPs),
+		CrawlTasks:      res.CrawlStats.Tasks,
+		UniqueImages:    res.CrawlStats.UniqueImages,
+		PhotoDNAMatches: res.PhotoDNA.Matches,
+		NSFVPreviews:    len(res.NSFV.Previews),
+		PacksMatched:    res.Provenance.Packs.Matched,
+		PacksTotal:      res.Provenance.Packs.Total,
+		PreviewsMatched: res.Provenance.Previews.Matched,
+		PreviewsTotal:   res.Provenance.Previews.Total,
+		MatchedDomains:  len(res.Provenance.Domains),
+		Proofs:          res.Earnings.Summary.Proofs,
+		TotalUSD:        res.Earnings.Summary.TotalUSD,
+		Profiles:        len(res.Actors.Profiles),
+		KeyActors:       len(res.Actors.Key.All),
+	}
+	m := res.Classifier.Metrics
+	s.Precision = m.Precision()
+	s.Recall = m.Recall()
+	s.F1 = m.F1()
+	s.TOPsWithLinksPct = pct(res.Links.ThreadsWithLinks, s.TOPs)
+	s.NSFVPreviewRate = pct(len(res.NSFV.Previews), len(res.NSFV.Previews)+len(res.NSFV.SFV))
+	s.PackMatchRate = pct(res.Provenance.Packs.Matched, res.Provenance.Packs.Total)
+	s.PackSeenRate = pct(res.Provenance.Packs.SeenBefore, res.Provenance.Packs.Matched)
+	s.PreviewMatchRate = pct(res.Provenance.Previews.Matched, res.Provenance.Previews.Total)
+	s.PreviewSeenRate = pct(res.Provenance.Previews.SeenBefore, res.Provenance.Previews.Matched)
+	s.MeanProofUSD = res.Earnings.Summary.MeanTransactionUSD
+	s.MeanActorUSD = res.Earnings.Summary.MeanPerActorUSD
+	return s
+}
+
+// Artefact is one named scalar measurement of a study.
+type Artefact struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Artefacts flattens the summary into its ordered artefact list — the
+// axis the aggregators fold over. The order is fixed (not reflected)
+// so aggregate tables and JSON output are stable across runs and
+// builds.
+func (s Summary) Artefacts() []Artefact {
+	return []Artefact{
+		{"ewhoring_threads", float64(s.EWhoringThreads)},
+		{"forums", float64(s.Forums)},
+		{"tops", float64(s.TOPs)},
+		{"crawl_tasks", float64(s.CrawlTasks)},
+		{"unique_images", float64(s.UniqueImages)},
+		{"photodna_matches", float64(s.PhotoDNAMatches)},
+		{"nsfv_previews", float64(s.NSFVPreviews)},
+		{"packs_matched", float64(s.PacksMatched)},
+		{"packs_total", float64(s.PacksTotal)},
+		{"previews_matched", float64(s.PreviewsMatched)},
+		{"previews_total", float64(s.PreviewsTotal)},
+		{"matched_domains", float64(s.MatchedDomains)},
+		{"proofs", float64(s.Proofs)},
+		{"total_usd", s.TotalUSD},
+		{"profiles", float64(s.Profiles)},
+		{"key_actors", float64(s.KeyActors)},
+		{"precision", s.Precision},
+		{"recall", s.Recall},
+		{"f1", s.F1},
+		{"tops_with_links_pct", s.TOPsWithLinksPct},
+		{"nsfv_preview_rate", s.NSFVPreviewRate},
+		{"pack_match_rate", s.PackMatchRate},
+		{"pack_seen_rate", s.PackSeenRate},
+		{"preview_match_rate", s.PreviewMatchRate},
+		{"preview_seen_rate", s.PreviewSeenRate},
+		{"mean_proof_usd", s.MeanProofUSD},
+		{"mean_actor_usd", s.MeanActorUSD},
+	}
+}
+
+// PaperValue is a reference number from Pastrana et al. (IMC 2019) for
+// one scale-free artefact. Absolute counts are excluded on purpose:
+// they shrink with world scale, so only rates and means are comparable
+// between a sweep and the measured economy.
+type PaperValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// PaperValues lists the paper's published values for every rate
+// artefact the stability table compares (EXPERIMENTS.md quotes the
+// same numbers).
+func PaperValues() []PaperValue {
+	return []PaperValue{
+		{"precision", 0.92},
+		{"recall", 0.93},
+		{"f1", 0.92},
+		{"tops_with_links_pct", 18.71},
+		{"nsfv_preview_rate", 60.4},
+		{"pack_match_rate", 74.0},
+		{"pack_seen_rate", 55.5},
+		{"preview_match_rate", 49.0},
+		{"preview_seen_rate", 39.0},
+		{"mean_proof_usd", 41.90},
+		{"mean_actor_usd", 774.0},
+	}
+}

@@ -1,0 +1,309 @@
+// Package sweep turns the single-study pipeline into a fleet of
+// studies: it plans a grid over study parameters (seeds, scales,
+// annotation sizes, worker counts), executes the resulting cells
+// concurrently on the core pipeline — in-process or against a live
+// study service — and folds every cell's Summary into deterministic
+// cross-seed aggregates: per-artefact mean / stddev / 95% CI,
+// scale-sensitivity slopes and a paper-vs-measured stability table.
+//
+// EXPERIMENTS.md's single-seed columns assert calibration; a sweep
+// measures it. Because each cell is a full study, a remote sweep also
+// doubles as a load generator: N concurrent POST /v1/study requests
+// exercising the service's worker pool, request coalescing and result
+// cache under real traffic.
+package sweep
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// Cell is one fully-specified study configuration — a point of the
+// sweep grid. All fields are explicit (normalize fills defaults), so a
+// cell means the same study locally and on a remote service.
+type Cell struct {
+	Seed             uint64  `json:"seed"`
+	Scale            float64 `json:"scale"`
+	Annotation       int     `json:"annotation_size"`
+	Workers          int     `json:"workers"`
+	CrawlConcurrency int     `json:"crawl_concurrency"`
+}
+
+// normalize fills zero fields with the same defaults core.NewStudy and
+// studysvc's canonicalization apply, so a cell's identity is
+// independent of how sparsely it was written down.
+func (c Cell) normalize() Cell {
+	def := core.DefaultOptions()
+	if c.Seed == 0 {
+		c.Seed = def.Synth.Seed
+	}
+	if c.Scale <= 0 {
+		c.Scale = def.Synth.Scale
+	}
+	if c.Annotation <= 0 {
+		c.Annotation = def.AnnotationSize
+	}
+	if c.Workers < 0 {
+		c.Workers = 0
+	}
+	if c.CrawlConcurrency <= 0 {
+		c.CrawlConcurrency = def.CrawlConcurrency
+	}
+	return c
+}
+
+// Options expands the cell into the study options it runs with.
+func (c Cell) Options() core.Options {
+	c = c.normalize()
+	return core.Options{
+		Synth:            synth.Config{Seed: c.Seed, Scale: c.Scale},
+		AnnotationSize:   c.Annotation,
+		Workers:          c.Workers,
+		CrawlConcurrency: c.CrawlConcurrency,
+	}
+}
+
+// String renders the cell compactly for logs and error ledgers.
+func (c Cell) String() string {
+	return fmt.Sprintf("seed=%d scale=%g annotation=%d workers=%d crawl=%d",
+		c.Seed, c.Scale, c.Annotation, c.Workers, c.CrawlConcurrency)
+}
+
+// Grid is the cross product of study parameter values. Empty
+// dimensions collapse to the default value, so a grid only names the
+// axes it actually varies.
+type Grid struct {
+	Seeds              []uint64  `json:"seeds,omitempty"`
+	Scales             []float64 `json:"scales,omitempty"`
+	Annotations        []int     `json:"annotations,omitempty"`
+	Workers            []int     `json:"workers,omitempty"`
+	CrawlConcurrencies []int     `json:"crawl_concurrencies,omitempty"`
+}
+
+// Cells expands the grid in deterministic plan order: scale outermost,
+// then annotation, workers, crawl concurrency, and seeds innermost —
+// so the cells of one cross-seed group are adjacent in the plan.
+func (g Grid) Cells() []Cell {
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{0}
+	}
+	scales := g.Scales
+	if len(scales) == 0 {
+		scales = []float64{0}
+	}
+	annotations := g.Annotations
+	if len(annotations) == 0 {
+		annotations = []int{0}
+	}
+	workers := g.Workers
+	if len(workers) == 0 {
+		workers = []int{0}
+	}
+	crawls := g.CrawlConcurrencies
+	if len(crawls) == 0 {
+		crawls = []int{0}
+	}
+	var cells []Cell
+	for _, scale := range scales {
+		for _, ann := range annotations {
+			for _, w := range workers {
+				for _, cc := range crawls {
+					for _, seed := range seeds {
+						cells = append(cells, Cell{
+							Seed: seed, Scale: scale, Annotation: ann,
+							Workers: w, CrawlConcurrency: cc,
+						}.normalize())
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Preset names for Spec.Preset.
+const (
+	PresetCrossSeed   = "cross-seed-stability"
+	PresetScale       = "scale-sensitivity"
+	PresetConcurrency = "crawler-concurrency"
+)
+
+// Presets lists the named scenario presets in display order.
+func Presets() []string {
+	return []string{PresetCrossSeed, PresetScale, PresetConcurrency}
+}
+
+// Spec is the serializable description of a sweep: a named preset
+// around base parameters, or an explicit grid. It is the POST /v1/sweep
+// body and what cmd/ewsweep builds from its flags.
+type Spec struct {
+	// Preset selects a named scenario (empty with a Grid for a custom
+	// sweep).
+	Preset string `json:"preset,omitempty"`
+	// Seeds is how many consecutive seeds a preset sweeps (default 5).
+	Seeds int `json:"seeds,omitempty"`
+	// Seed is the base seed (default 2019); preset seeds are
+	// Seed, Seed+1, ... Seed+Seeds-1.
+	Seed uint64 `json:"seed,omitempty"`
+	// Scale, Annotation, Workers and CrawlConcurrency are the base cell
+	// parameters presets hold fixed (zero = study default).
+	Scale            float64 `json:"scale,omitempty"`
+	Annotation       int     `json:"annotation_size,omitempty"`
+	Workers          int     `json:"workers,omitempty"`
+	CrawlConcurrency int     `json:"crawl_concurrency,omitempty"`
+	// Grid, when set, overrides the preset entirely.
+	Grid *Grid `json:"grid,omitempty"`
+	// Parallelism bounds how many cells run at once (default 2).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// Name returns the sweep's display name.
+func (sp Spec) Name() string {
+	if sp.Grid != nil {
+		return "custom-grid"
+	}
+	if sp.Preset == "" {
+		return "single"
+	}
+	return sp.Preset
+}
+
+// seedRange returns n consecutive seeds starting at base.
+func seedRange(base uint64, n int) []uint64 {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = base + uint64(i)
+	}
+	return seeds
+}
+
+// Cells expands the spec into its plan. An unknown preset is an error
+// (the grid path never fails).
+func (sp Spec) Cells() ([]Cell, error) {
+	base := Cell{
+		Seed: sp.Seed, Scale: sp.Scale, Annotation: sp.Annotation,
+		Workers: sp.Workers, CrawlConcurrency: sp.CrawlConcurrency,
+	}.normalize()
+	if sp.Grid != nil {
+		g := *sp.Grid
+		// The base cell fills the dimensions the grid leaves open; an
+		// open seed axis still honours Seeds, so "-scales 0.01,0.02
+		// -seeds 3" crosses the scales with three seeds.
+		if len(g.Seeds) == 0 {
+			n := sp.Seeds
+			if n <= 0 {
+				n = 1
+			}
+			g.Seeds = seedRange(base.Seed, n)
+		}
+		if len(g.Scales) == 0 {
+			g.Scales = []float64{base.Scale}
+		}
+		if len(g.Annotations) == 0 {
+			g.Annotations = []int{base.Annotation}
+		}
+		if len(g.Workers) == 0 {
+			g.Workers = []int{base.Workers}
+		}
+		if len(g.CrawlConcurrencies) == 0 {
+			g.CrawlConcurrencies = []int{base.CrawlConcurrency}
+		}
+		return g.Cells(), nil
+	}
+	seeds := sp.Seeds
+	if seeds <= 0 {
+		seeds = 5
+	}
+	switch sp.Preset {
+	case "", PresetCrossSeed:
+		// N worlds differing only in seed: the variance of every
+		// artefact across them is the calibration claim, measured.
+		if sp.Preset == "" {
+			seeds = 1
+			if sp.Seeds > 0 {
+				seeds = sp.Seeds
+			}
+		}
+		return Grid{
+			Seeds:       seedRange(base.Seed, seeds),
+			Scales:      []float64{base.Scale},
+			Annotations: []int{base.Annotation}, Workers: []int{base.Workers},
+			CrawlConcurrencies: []int{base.CrawlConcurrency},
+		}.Cells(), nil
+	case PresetScale:
+		// A scale ladder per seed: slopes of artefact-vs-scale separate
+		// quantities that grow with the world from calibrated rates.
+		if seeds == 5 && sp.Seeds <= 0 {
+			seeds = 3
+		}
+		return Grid{
+			Seeds:       seedRange(base.Seed, seeds),
+			Scales:      scaleLadder(base.Scale),
+			Annotations: []int{base.Annotation}, Workers: []int{base.Workers},
+			CrawlConcurrencies: []int{base.CrawlConcurrency},
+		}.Cells(), nil
+	case PresetConcurrency:
+		// One world crawled at 1/2/4/8 crawler workers: artefacts must
+		// not move (determinism under concurrency), only timings may.
+		return Grid{
+			Seeds:       seedRange(base.Seed, seeds),
+			Scales:      []float64{base.Scale},
+			Annotations: []int{base.Annotation}, Workers: []int{base.Workers},
+			CrawlConcurrencies: []int{1, 2, 4, 8},
+		}.Cells(), nil
+	default:
+		return nil, fmt.Errorf("sweep: unknown preset %q (have %v)", sp.Preset, Presets())
+	}
+}
+
+// groupKey identifies a cross-seed group: every grid dimension except
+// the seed.
+type groupKey struct {
+	Scale            float64
+	Annotation       int
+	Workers          int
+	CrawlConcurrency int
+}
+
+func (k groupKey) String() string {
+	return fmt.Sprintf("scale=%g annotation=%d workers=%d crawl=%d",
+		k.Scale, k.Annotation, k.Workers, k.CrawlConcurrency)
+}
+
+// sortGroupKeys orders keys by (scale, annotation, workers, crawl) so
+// aggregate output is stable regardless of map iteration.
+func sortGroupKeys(keys []groupKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Scale != b.Scale {
+			return a.Scale < b.Scale
+		}
+		if a.Annotation != b.Annotation {
+			return a.Annotation < b.Annotation
+		}
+		if a.Workers != b.Workers {
+			return a.Workers < b.Workers
+		}
+		return a.CrawlConcurrency < b.CrawlConcurrency
+	})
+}
+
+// scaleLadder builds the scale-sensitivity ladder around a base scale:
+// half, base, 1.5× and 2×, with rungs outside the sane range dropped.
+// The base scale itself always survives — a fully-clamped ladder must
+// still sweep the scale that was asked for, never silently substitute
+// the default.
+func scaleLadder(base float64) []float64 {
+	ladder := []float64{base / 2, base, base * 1.5, base * 2}
+	out := ladder[:0]
+	for _, s := range ladder {
+		if s == base || (s >= 0.005 && s <= 1.0) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
