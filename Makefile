@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet fmt-check build test test-race bench-smoke bench clean
+.PHONY: verify vet fmt-check build test test-race bench-smoke bench-diff bench-baseline bench clean
 
 verify: vet build test
 
@@ -21,18 +21,37 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# One iteration of the sequential/concurrent full-study pair plus the
-# cross-seed sweep — fast sanity that the engine and the sweep
+# Three iterations of the sequential/concurrent full-study pair plus
+# the cross-seed sweep — fast sanity that the engine and the sweep
 # orchestrator run end to end — emitted both as benchstat input
-# (bench_*.txt) and as JSON artifacts for CI upload.
+# (bench_*.txt) and as fresh JSON artifacts for CI upload. The fresh
+# files are kept distinct from the committed BENCH_*.json baselines so
+# a smoke run never clobbers the regression reference.
 bench-smoke:
-	$(GO) test -run='^$$' -bench=StudyRun -benchtime=1x . | tee bench_pipeline.txt
-	$(GO) run ./cmd/benchjson -in bench_pipeline.txt -out BENCH_pipeline.json
-	$(GO) test -run='^$$' -bench=SweepCrossSeed -benchtime=1x . | tee bench_sweep.txt
-	$(GO) run ./cmd/benchjson -in bench_sweep.txt -out BENCH_sweep.json
+	$(GO) test -run='^$$' -bench=StudyRun -benchtime=3x . | tee bench_pipeline.txt
+	$(GO) run ./cmd/benchjson -in bench_pipeline.txt -out BENCH_pipeline.fresh.json
+	$(GO) test -run='^$$' -bench=SweepCrossSeed -benchtime=3x . | tee bench_sweep.txt
+	$(GO) run ./cmd/benchjson -in bench_sweep.txt -out BENCH_sweep.fresh.json
+
+# Benchmark-regression gate: a fresh smoke run must stay within
+# BENCH_TOLERANCE of the committed baselines; it also fails when a
+# baseline benchmark disappears. Absolute ns/op only compares
+# meaningfully on similar hardware — refresh the baselines from the
+# machine class that gates (for CI, the uploaded BENCH_*.fresh.json
+# artifact of a green run is exactly the file to commit).
+BENCH_TOLERANCE ?= 0.30
+bench-diff: bench-smoke
+	$(GO) run ./cmd/benchjson -diff -baseline BENCH_pipeline.json -in BENCH_pipeline.fresh.json -tolerance $(BENCH_TOLERANCE)
+	$(GO) run ./cmd/benchjson -diff -baseline BENCH_sweep.json -in BENCH_sweep.fresh.json -tolerance $(BENCH_TOLERANCE)
+
+# Refresh the committed baselines from a fresh smoke run (run after an
+# intentional perf change, then commit the BENCH_*.json files).
+bench-baseline: bench-smoke
+	cp BENCH_pipeline.fresh.json BENCH_pipeline.json
+	cp BENCH_sweep.fresh.json BENCH_sweep.json
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
 clean:
-	rm -f bench_pipeline.txt BENCH_pipeline.json bench_sweep.txt BENCH_sweep.json
+	rm -f bench_pipeline.txt bench_sweep.txt BENCH_pipeline.fresh.json BENCH_sweep.fresh.json

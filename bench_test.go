@@ -24,6 +24,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/nsfv"
 	"repro/internal/nsfw"
+	"repro/internal/photodna"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/synth"
@@ -182,6 +183,19 @@ func BenchmarkPhotoDNAFilter(b *testing.B) {
 		if len(safe) == 0 || summary.Matches == 0 {
 			b.Fatal("filter degenerate")
 		}
+	}
+}
+
+// BenchmarkHashImage measures the fused composite perceptual hash on
+// a study-shaped raster — the innermost operation of the PhotoDNA
+// gate, the reverse index and crawl dedup. Steady-state allocations
+// must be zero (pinned by imagex.TestHashImageZeroAlloc).
+func BenchmarkHashImage(b *testing.B) {
+	im := imagex.GenModel(1, 0, imagex.PoseNude, 48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = photodna.HashImage(im)
 	}
 }
 
@@ -528,6 +542,32 @@ func BenchmarkSweepCrossSeed(b *testing.B) {
 			b.Fatal("sweep aggregate wrong shape")
 		}
 	}
+}
+
+// BenchmarkSweepWorldCache runs the crawler-concurrency preset — one
+// world, four concurrency cells — with and without the sweep-level
+// world cache. The gap between the two sub-benchmarks is the world
+// regeneration the cache removes from every grid that only varies
+// annotation/worker axes.
+func BenchmarkSweepWorldCache(b *testing.B) {
+	cells, err := sweep.Spec{
+		Preset: sweep.PresetConcurrency, Seeds: 1,
+		Scale: 0.01, Annotation: 200,
+	}.Cells()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, backend sweep.Backend) {
+		for i := 0; i < b.N; i++ {
+			res := sweep.Run(context.Background(), "bench", cells, backend,
+				sweep.Options{Parallelism: 2})
+			if len(res.Errors) != 0 {
+				b.Fatalf("sweep errors: %v", res.Errors)
+			}
+		}
+	}
+	b.Run("uncached", func(b *testing.B) { run(b, sweep.Local{}) })
+	b.Run("cached", func(b *testing.B) { run(b, sweep.Local{Worlds: sweep.NewWorldCache(0)}) })
 }
 
 // earningsPlatformSanity keeps the earnings import exercised and

@@ -7,14 +7,23 @@
 // fields of two artifacts reconstructs files benchstat accepts, so the
 // JSON is both machine-queryable and benchstat-parseable.
 //
+// The -diff mode is the benchmark-regression gate: it compares a
+// fresh run (text or JSON) against a committed baseline artifact and
+// exits non-zero when any benchmark regresses beyond the tolerance,
+// or silently disappears. CI's bench-smoke job runs it against the
+// committed BENCH_*.json on every push, so the perf trajectory is
+// enforced, not just recorded.
+//
 // Usage:
 //
 //	go test -run='^$' -bench=StudyRun -benchtime=1x . | benchjson [-out FILE]
 //	benchjson -in bench.txt -out BENCH_pipeline.json
+//	benchjson -diff -baseline BENCH_pipeline.json -in bench.txt [-tolerance 0.30]
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -51,8 +60,11 @@ type Artifact struct {
 }
 
 func main() {
-	in := flag.String("in", "", "benchmark text input (default stdin)")
+	in := flag.String("in", "", "benchmark input, text or JSON artifact (default stdin)")
 	out := flag.String("out", "", "JSON output file (default stdout)")
+	diff := flag.Bool("diff", false, "compare the input against -baseline instead of emitting JSON")
+	baseline := flag.String("baseline", "", "baseline JSON artifact for -diff")
+	tolerance := flag.Float64("tolerance", 0.30, "fractional ns/op regression allowed by -diff")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -64,13 +76,35 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	art, err := parse(r)
+	art, err := load(r)
 	if err != nil {
 		fatal(err)
 	}
 	if len(art.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark result lines found in input"))
 	}
+
+	if *diff {
+		if *baseline == "" {
+			fatal(fmt.Errorf("-diff requires -baseline"))
+		}
+		bf, err := os.Open(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		base, err := load(bf)
+		bf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		report, failed := diffArtifacts(base, art, *tolerance)
+		fmt.Print(report)
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -83,6 +117,74 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// load reads either raw `go test -bench` text or an already-converted
+// JSON artifact, sniffing by the first non-space byte.
+func load(r io.Reader) (*Artifact, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		art := &Artifact{}
+		if err := json.Unmarshal(trimmed, art); err != nil {
+			return nil, fmt.Errorf("parsing JSON artifact: %w", err)
+		}
+		return art, nil
+	}
+	return parse(bytes.NewReader(data))
+}
+
+// diffArtifacts compares current against base benchmark by benchmark.
+// A benchmark fails the gate when its ns/op exceeds the baseline by
+// more than the tolerance fraction, or when it exists in the baseline
+// but not in the current run (a silently-dropped benchmark must not
+// pass). Benchmarks new in the current run are reported, not failed.
+func diffArtifacts(base, cur *Artifact, tolerance float64) (string, bool) {
+	curBy := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curBy[b.Name] = b
+	}
+	baseSeen := make(map[string]bool, len(base.Benchmarks))
+
+	var sb strings.Builder
+	failed := false
+	fmt.Fprintf(&sb, "%-28s %15s %15s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, b := range base.Benchmarks {
+		baseSeen[b.Name] = true
+		c, ok := curBy[b.Name]
+		if !ok {
+			failed = true
+			fmt.Fprintf(&sb, "%-28s %15.0f %15s %9s  FAIL (missing from current run)\n",
+				b.Name, b.NsPerOp, "-", "-")
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		verdict := "ok"
+		if delta > tolerance {
+			failed = true
+			verdict = fmt.Sprintf("FAIL (> %+.0f%% tolerance)", tolerance*100)
+		}
+		fmt.Fprintf(&sb, "%-28s %15.0f %15.0f %+8.1f%%  %s\n",
+			b.Name, b.NsPerOp, c.NsPerOp, delta*100, verdict)
+	}
+	for _, c := range cur.Benchmarks {
+		if !baseSeen[c.Name] {
+			fmt.Fprintf(&sb, "%-28s %15s %15.0f %9s  new (not in baseline)\n",
+				c.Name, "-", c.NsPerOp, "-")
+		}
+	}
+	if failed {
+		fmt.Fprintf(&sb, "benchmark regression gate FAILED (tolerance %.0f%%)\n", tolerance*100)
+	} else {
+		fmt.Fprintf(&sb, "benchmark regression gate passed (tolerance %.0f%%)\n", tolerance*100)
+	}
+	return sb.String(), failed
 }
 
 func fatal(err error) {

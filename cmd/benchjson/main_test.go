@@ -48,3 +48,91 @@ func TestParseRejectsGarbage(t *testing.T) {
 		t.Error("line without ns/op accepted")
 	}
 }
+
+func TestLoadSniffsJSONAndText(t *testing.T) {
+	text, err := load(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(text.Benchmarks) != 2 {
+		t.Fatalf("text load parsed %d benchmarks", len(text.Benchmarks))
+	}
+	asJSON := `  {"benchmarks":[{"name":"StudyRunSequential","procs":8,"iterations":1,"ns_per_op":5,"raw":"x"}]}`
+	art, err := load(strings.NewReader(asJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Benchmarks) != 1 || art.Benchmarks[0].NsPerOp != 5 {
+		t.Fatalf("JSON load = %+v", art)
+	}
+	if _, err := load(strings.NewReader("{broken")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func art(pairs ...any) *Artifact {
+	a := &Artifact{}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		a.Benchmarks = append(a.Benchmarks, Benchmark{
+			Name:    pairs[i].(string),
+			NsPerOp: pairs[i+1].(float64),
+		})
+	}
+	return a
+}
+
+func TestDiffWithinTolerancePasses(t *testing.T) {
+	base := art("Pipeline", 100.0, "Sweep", 200.0)
+	cur := art("Pipeline", 125.0, "Sweep", 150.0)
+	report, failed := diffArtifacts(base, cur, 0.30)
+	if failed {
+		t.Fatalf("within-tolerance diff failed:\n%s", report)
+	}
+	if !strings.Contains(report, "gate passed") {
+		t.Errorf("report missing verdict:\n%s", report)
+	}
+}
+
+func TestDiffRegressionFails(t *testing.T) {
+	base := art("Pipeline", 100.0)
+	cur := art("Pipeline", 131.0)
+	report, failed := diffArtifacts(base, cur, 0.30)
+	if !failed {
+		t.Fatalf("31%% regression passed a 30%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL") {
+		t.Errorf("report missing FAIL marker:\n%s", report)
+	}
+}
+
+func TestDiffMissingBenchmarkFails(t *testing.T) {
+	base := art("Pipeline", 100.0, "Sweep", 200.0)
+	cur := art("Pipeline", 100.0)
+	report, failed := diffArtifacts(base, cur, 0.30)
+	if !failed {
+		t.Fatalf("dropped benchmark passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "missing from current run") {
+		t.Errorf("report missing dropped-benchmark marker:\n%s", report)
+	}
+}
+
+func TestDiffNewBenchmarkReportedNotFailed(t *testing.T) {
+	base := art("Pipeline", 100.0)
+	cur := art("Pipeline", 100.0, "Extra", 50.0)
+	report, failed := diffArtifacts(base, cur, 0.30)
+	if failed {
+		t.Fatalf("new benchmark failed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "new (not in baseline)") {
+		t.Errorf("report missing new-benchmark marker:\n%s", report)
+	}
+}
+
+func TestDiffImprovementPasses(t *testing.T) {
+	base := art("Pipeline", 100.0)
+	cur := art("Pipeline", 10.0)
+	if report, failed := diffArtifacts(base, cur, 0.30); failed {
+		t.Fatalf("a 10x improvement failed the gate:\n%s", report)
+	}
+}

@@ -10,9 +10,14 @@
 // POSTed to a live study service (cmd/ewserve's -study address) and
 // the server's summary, stage table and cache verdict are printed.
 //
+// With -cpuprofile / -memprofile the run writes pprof profiles, so
+// hot-path work (hashing, matching, the stage engine) is measurable
+// with `go tool pprof` without editing code.
+//
 // Usage:
 //
 //	ewpipeline [-seed N] [-scale F] [-workers N] [-seq]
+//	ewpipeline -cpuprofile cpu.pb.gz -memprofile mem.pb.gz [-seed N] [-scale F]
 //	ewpipeline -remote http://127.0.0.1:8084 [-seed N] [-scale F] [-workers N]
 package main
 
@@ -21,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/core"
@@ -30,26 +37,64 @@ import (
 )
 
 func main() {
+	// The body runs in run() so deferred cleanup — most importantly
+	// flushing the CPU/heap profiles — executes on error exits too;
+	// os.Exit would skip it.
+	os.Exit(run())
+}
+
+func run() int {
 	seed := flag.Uint64("seed", 2019, "world seed")
 	scale := flag.Float64("scale", 0.05, "corpus scale")
 	workers := flag.Int("workers", 0, "pipeline stage workers (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "run the sequential reference implementation")
 	remote := flag.String("remote", "", "drive a live study service at this base URL instead of running in-process")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
 	ctx := context.Background()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ewpipeline:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ewpipeline:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ewpipeline:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // report steady-state live heap, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ewpipeline:", err)
+		}
+	}()
 
 	if *remote != "" {
 		if *seq {
 			fmt.Fprintln(os.Stderr, "ewpipeline: -seq and -remote are mutually exclusive (the service runs the concurrent engine)")
-			os.Exit(1)
+			return 1
 		}
 		if err := runRemote(ctx, *remote, studysvc.Request{
 			Seed: *seed, Scale: *scale, Workers: *workers,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "ewpipeline:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	study := core.NewStudy(core.Options{
@@ -73,7 +118,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ewpipeline:", err)
-		os.Exit(1)
+		return 1
 	}
 	elapsed := time.Since(start).Round(time.Millisecond)
 
@@ -119,6 +164,7 @@ func main() {
 
 	printStages("pipeline stages", study.PipelineStats())
 	fmt.Printf("\npipeline complete in %v (%s)\n", elapsed, mode)
+	return 0
 }
 
 // printStages renders a stage-snapshot table (no-op when empty).

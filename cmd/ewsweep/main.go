@@ -60,6 +60,10 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines")
 	flag.Parse()
 
+	if *server && *remote == "" {
+		fatalf("-server requires -remote (the service that runs the sweep)")
+	}
+
 	spec := sweep.Spec{
 		Preset: *preset, Seeds: *seeds, Seed: *seed, Scale: *scale,
 		Annotation: *annotation, Workers: *workers, CrawlConcurrency: *crawl,
@@ -96,7 +100,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep %s done on the server\n", env.ID)
 		res = env.Result
 	default:
-		var backend sweep.Backend = sweep.Local{}
+		// Local cells share generated worlds: a grid varying only
+		// annotation or concurrency axes generates each world once.
+		var backend sweep.Backend = sweep.Local{Worlds: sweep.NewWorldCache(0)}
 		mode := "local"
 		if *remote != "" {
 			backend = studysvc.Backend{Client: studysvc.NewClient(*remote, nil)}

@@ -90,6 +90,22 @@ type Study struct {
 
 // NewStudy generates the world and prepares the study.
 func NewStudy(opts Options) *Study {
+	return NewStudyWithWorld(opts, nil)
+}
+
+// NewStudyWithWorld prepares a study over an already-generated world,
+// skipping generation — the seam the sweep engine's world cache uses
+// to share one immutable world across cells that differ only in
+// annotation size, worker counts or crawl concurrency. Generation is
+// deterministic in the canonical config, so a shared world and a
+// fresh one produce bit-identical Results. A nil world, or one whose
+// config does not match opts.Synth, is generated from opts.Synth as
+// NewStudy would.
+//
+// A run never mutates the world (DESIGN.md §3: concurrency safety
+// rests on a frozen world), so the same *synth.World may back any
+// number of concurrent studies.
+func NewStudyWithWorld(opts Options, world *synth.World) *Study {
 	if opts.AnnotationSize <= 0 {
 		opts.AnnotationSize = 1000
 	}
@@ -102,9 +118,12 @@ func NewStudy(opts Options) *Study {
 	if opts.CrawlConcurrency <= 0 {
 		opts.CrawlConcurrency = 8
 	}
+	if world == nil || world.Config != opts.Synth.Canonical() {
+		world = synth.Generate(opts.Synth)
+	}
 	s := &Study{
 		Opts:      opts,
-		World:     synth.Generate(opts.Synth),
+		World:     world,
 		Whitelist: urlx.DefaultWhitelist(),
 		Hotline:   photodna.NewHotline(),
 	}
@@ -382,6 +401,9 @@ func (s *Study) matchResult(ctx context.Context, r crawler.Result) matchOutcome 
 	if r.Outcome != crawler.OutcomeOK {
 		return o
 	}
+	// Nearly every image passes the gate, so size the safe set for all
+	// of them up front instead of growing it append by append.
+	o.safe = make([]SafeImage, 0, len(r.Images))
 	for _, im := range r.Images {
 		h := photodna.HashImage(im)
 		entry, matched := s.World.HashList.MatchHash(h)
@@ -391,8 +413,12 @@ func (s *Study) matchResult(ctx context.Context, r crawler.Result) matchOutcome 
 		}
 		// Report with the URLs where reverse search finds the same
 		// image, reusing the hash already computed for the gate.
+		matches := s.backend.SearchHash(ctx, h)
 		var urlReports []photodna.URLReport
-		for _, m := range s.backend.SearchHash(ctx, h) {
+		if len(matches) > 0 {
+			urlReports = make([]photodna.URLReport, 0, len(matches))
+		}
+		for _, m := range matches {
 			urlReports = append(urlReports, photodna.URLReport{
 				URL:      m.URL,
 				Region:   s.World.RegionOf(m.Domain),
@@ -619,10 +645,19 @@ func samplePackImages(packImages []SafeImage, k int) []SafeImage {
 	})
 	scorer := nsfv.New().Scorer
 	var out []SafeImage
+	type scored struct {
+		si    SafeImage
+		score float64
+	}
 	for _, key := range order {
-		imgs := groups[key]
+		// Score each image once; the comparator would otherwise rescore
+		// (a full raster traversal) on every comparison.
+		imgs := make([]scored, len(groups[key]))
+		for i, si := range groups[key] {
+			imgs[i] = scored{si: si, score: scorer.Score(si.Image)}
+		}
 		sort.Slice(imgs, func(i, j int) bool {
-			return scorer.Score(imgs[i].Image) < scorer.Score(imgs[j].Image)
+			return imgs[i].score < imgs[j].score
 		})
 		picks := []int{0, len(imgs) / 2, len(imgs) - 1}
 		if k < len(picks) {
@@ -632,7 +667,7 @@ func samplePackImages(packImages []SafeImage, k int) []SafeImage {
 		for _, p := range picks {
 			if _, dup := seen[p]; !dup {
 				seen[p] = struct{}{}
-				out = append(out, imgs[p])
+				out = append(out, imgs[p].si)
 			}
 		}
 	}

@@ -321,8 +321,7 @@ type Stats struct {
 // ... there were 53 948 unique files").
 func Summarize(results []Result) Stats {
 	s := Stats{Tasks: len(results), ByOutcome: make(map[Outcome]int)}
-	type key struct{ a, d imagex.Hash }
-	seen := make(map[key]struct{})
+	seen := make(map[imagex.Hash128]struct{})
 	for _, r := range results {
 		s.ByOutcome[r.Outcome]++
 		if r.Outcome != OutcomeOK {
@@ -336,7 +335,9 @@ func Summarize(results []Result) Stats {
 		}
 		s.ImagesFetched += len(r.Images)
 		for _, im := range r.Images {
-			k := key{imagex.AHash(im), imagex.DHash(im)}
+			// The fused composite hash computes both components in one
+			// traversal of the raster with no allocation.
+			k := imagex.Hash128Of(im)
 			if _, dup := seen[k]; dup {
 				s.DuplicateCount++
 			} else {

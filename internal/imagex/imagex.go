@@ -27,6 +27,7 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/randx"
 )
@@ -84,18 +85,58 @@ func (im *Image) Clone() *Image {
 	return &Image{W: im.W, H: im.H, Pix: pix}
 }
 
+// pixPool recycles pixel buffers for the *Into transform variants and
+// GetImage/PutImage, so steady-state hot paths (hashing, transform
+// chains) stop allocating per image. Buffers are stored by pointer to
+// keep Put itself allocation-free.
+var pixPool = sync.Pool{New: func() any { b := []byte(nil); return &b }}
+
+// GetImage returns an image of the given size whose pixel buffer comes
+// from the shared pool. Contents are undefined; every pixel the caller
+// does not write must be set explicitly. Release with PutImage.
+func GetImage(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic("imagex: non-positive dimensions")
+	}
+	im := &Image{}
+	im.reshape(w, h)
+	return im
+}
+
+// PutImage returns an image's pixel buffer to the pool. The image must
+// not be used afterwards.
+func PutImage(im *Image) {
+	if im == nil || im.Pix == nil {
+		return
+	}
+	buf := im.Pix[:0]
+	im.Pix = nil
+	pixPool.Put(&buf)
+}
+
+// reshape sizes the image to w×h, reusing its buffer when the capacity
+// allows and drawing from the pool otherwise. Pixel contents after a
+// reshape are undefined.
+func (im *Image) reshape(w, h int) {
+	n := w * h
+	im.W, im.H = w, h
+	if cap(im.Pix) >= n {
+		im.Pix = im.Pix[:n]
+		return
+	}
+	bp := pixPool.Get().(*[]byte)
+	if cap(*bp) >= n {
+		im.Pix = (*bp)[:n]
+		return
+	}
+	pixPool.Put(bp)
+	im.Pix = make([]byte, n)
+}
+
 // SkinFraction returns the fraction of pixels inside the skin band.
 func (im *Image) SkinFraction() float64 {
-	if len(im.Pix) == 0 {
-		return 0
-	}
-	n := 0
-	for _, p := range im.Pix {
-		if p >= SkinLo && p <= SkinHi {
-			n++
-		}
-	}
-	return float64(n) / float64(len(im.Pix))
+	f, _ := im.SkinStats()
+	return f
 }
 
 // SkinCoherence measures how contiguous the skin pixels are: the mean
@@ -103,14 +144,23 @@ func (im *Image) SkinFraction() float64 {
 // Bodies are contiguous (high coherence); scattered skin-valued noise
 // is not. The NSFW scorer combines fraction and coherence.
 func (im *Image) SkinCoherence() float64 {
-	if im.W == 0 || im.H == 0 {
-		return 0
+	_, c := im.SkinStats()
+	return c
+}
+
+// SkinStats returns the skin fraction and coherence in a single
+// traversal — every skin pixel belongs to exactly one horizontal run,
+// so the run-length fold also yields the band count. The NSFW scorer
+// consumes both, and the fused pass halves its per-image cost.
+func (im *Image) SkinStats() (fraction, coherence float64) {
+	if im.W <= 0 || im.H <= 0 || len(im.Pix) == 0 {
+		return 0, 0
 	}
 	totalRun, runs := 0, 0
 	for y := 0; y < im.H; y++ {
+		row := im.Pix[y*im.W : (y+1)*im.W]
 		run := 0
-		for x := 0; x < im.W; x++ {
-			p := im.At(x, y)
+		for _, p := range row {
 			if p >= SkinLo && p <= SkinHi {
 				run++
 			} else if run > 0 {
@@ -124,10 +174,11 @@ func (im *Image) SkinCoherence() float64 {
 			runs++
 		}
 	}
-	if runs == 0 {
-		return 0
+	fraction = float64(totalRun) / float64(len(im.Pix))
+	if runs > 0 {
+		coherence = float64(totalRun) / float64(runs) / float64(im.W)
 	}
-	return float64(totalRun) / float64(runs) / float64(im.W)
+	return fraction, coherence
 }
 
 // FillRect fills the rectangle [x0,x1)x[y0,y1) with value v plus
@@ -230,19 +281,60 @@ func LineHeight(scale int) int {
 // evade reverse image search; the difference hash is not mirror-
 // invariant, so this transform defeats matching, as in the paper.
 func (im *Image) Mirror() *Image {
-	out := New(im.W, im.H, 0)
+	out := &Image{W: im.W, H: im.H, Pix: make([]byte, len(im.Pix))}
+	im.mirrorPix(out.Pix)
+	return out
+}
+
+// MirrorInto is Mirror writing into dst, reusing dst's pixel buffer
+// (growing it from the pool if needed). dst may alias im for an
+// in-place flip.
+func (im *Image) MirrorInto(dst *Image) {
+	if dst == im {
+		w := im.W
+		for y := 0; y < im.H; y++ {
+			row := im.Pix[y*w : (y+1)*w]
+			for l, r := 0, w-1; l < r; l, r = l+1, r-1 {
+				row[l], row[r] = row[r], row[l]
+			}
+		}
+		return
+	}
+	dst.reshape(im.W, im.H)
+	im.mirrorPix(dst.Pix)
+}
+
+func (im *Image) mirrorPix(dst []byte) {
+	w := im.W
 	for y := 0; y < im.H; y++ {
-		for x := 0; x < im.W; x++ {
-			out.Set(im.W-1-x, y, im.At(x, y))
+		src := im.Pix[y*w : (y+1)*w]
+		out := dst[y*w : (y+1)*w]
+		for x, p := range src {
+			out[w-1-x] = p
 		}
 	}
-	return out
 }
 
 // Recompress simulates lossy re-encoding by quantising pixel values to
 // the given number of levels (2..256). Quantisation perturbs pixels
 // slightly, which perceptual hashes must (and do) survive.
 func (im *Image) Recompress(levels int) *Image {
+	out := &Image{W: im.W, H: im.H, Pix: make([]byte, len(im.Pix))}
+	im.recompressPix(out.Pix, levels)
+	return out
+}
+
+// RecompressInto is Recompress writing into dst, reusing dst's pixel
+// buffer (growing it from the pool if needed). dst may alias im for an
+// in-place quantisation.
+func (im *Image) RecompressInto(dst *Image, levels int) {
+	if dst != im {
+		dst.reshape(im.W, im.H)
+	}
+	im.recompressPix(dst.Pix, levels)
+}
+
+func (im *Image) recompressPix(dst []byte, levels int) {
 	if levels < 2 {
 		levels = 2
 	}
@@ -253,15 +345,19 @@ func (im *Image) Recompress(levels int) *Image {
 	if q < 1 {
 		q = 1
 	}
-	out := im.Clone()
-	for i, p := range out.Pix {
-		v := (int(p)/q)*q + q/2
+	// The quantiser is a pure per-value map: build it once as a lookup
+	// table, then sweep the raster with a single table-indexed pass.
+	var lut [256]byte
+	for i := range lut {
+		v := (i/q)*q + q/2
 		if v > 255 {
 			v = 255
 		}
-		out.Pix[i] = byte(v)
+		lut[i] = byte(v)
 	}
-	return out
+	for i, p := range im.Pix {
+		dst[i] = lut[p]
+	}
 }
 
 // Watermark returns a copy with a text watermark drawn near the bottom
@@ -280,21 +376,35 @@ func (im *Image) Watermark(text string) *Image {
 // Shade returns a copy with the bottom strip (frac of the height)
 // darkened — another common preview modification.
 func (im *Image) Shade(frac float64) *Image {
+	out := im.Clone()
+	out.ShadeInto(out, frac)
+	return out
+}
+
+// ShadeInto is Shade writing into dst, reusing dst's pixel buffer
+// (growing it from the pool if needed). dst may alias im for an
+// in-place shade.
+func (im *Image) ShadeInto(dst *Image, frac float64) {
 	if frac < 0 {
 		frac = 0
 	}
 	if frac > 1 {
 		frac = 1
 	}
-	out := im.Clone()
+	if dst != im {
+		dst.reshape(im.W, im.H)
+		copy(dst.Pix, im.Pix)
+	}
 	y0 := int(float64(im.H) * (1 - frac))
+	if y0 < 0 {
+		y0 = 0
+	}
 	for y := y0; y < im.H; y++ {
-		for x := 0; x < im.W; x++ {
-			v := out.At(x, y)
-			out.Set(x, y, v/3)
+		row := dst.Pix[y*im.W : (y+1)*im.W]
+		for i, p := range row {
+			row[i] = p / 3
 		}
 	}
-	return out
 }
 
 // Resize box-samples the image to the given dimensions.
@@ -302,32 +412,58 @@ func (im *Image) Resize(w, h int) *Image {
 	if w <= 0 || h <= 0 {
 		panic("imagex: non-positive resize dimensions")
 	}
-	out := New(w, h, 0)
+	out := &Image{W: w, H: h, Pix: make([]byte, w*h)}
+	im.resizePix(out.Pix, w, h)
+	return out
+}
+
+// ResizeInto is Resize writing into dst, reusing dst's pixel buffer
+// (growing it from the pool if needed). dst must not alias im.
+func (im *Image) ResizeInto(dst *Image, w, h int) {
+	if w <= 0 || h <= 0 {
+		panic("imagex: non-positive resize dimensions")
+	}
+	dst.reshape(w, h)
+	im.resizePix(dst.Pix, w, h)
+}
+
+// resizePix box-samples into dst (len w*h). Each target cell averages
+// the source rectangle [x*W/w,(x+1)*W/w) × [y*H/h,(y+1)*H/h), widened
+// to at least one source pixel when upsampling — summed over row
+// slices, so the kernel never pays per-pixel At bounds checks.
+func (im *Image) resizePix(dst []byte, w, h int) {
 	for y := 0; y < h; y++ {
 		sy0 := y * im.H / h
 		sy1 := (y + 1) * im.H / h
 		if sy1 <= sy0 {
 			sy1 = sy0 + 1
 		}
+		if sy1 > im.H {
+			sy1 = im.H
+		}
+		out := dst[y*w : (y+1)*w]
 		for x := 0; x < w; x++ {
 			sx0 := x * im.W / w
 			sx1 := (x + 1) * im.W / w
 			if sx1 <= sx0 {
 				sx1 = sx0 + 1
 			}
-			sum, n := 0, 0
-			for sy := sy0; sy < sy1 && sy < im.H; sy++ {
-				for sx := sx0; sx < sx1 && sx < im.W; sx++ {
-					sum += int(im.At(sx, sy))
-					n++
+			if sx1 > im.W {
+				sx1 = im.W
+			}
+			sum := 0
+			for sy := sy0; sy < sy1; sy++ {
+				for _, p := range im.Pix[sy*im.W+sx0 : sy*im.W+sx1] {
+					sum += int(p)
 				}
 			}
-			if n > 0 {
-				out.Set(x, y, byte(sum/n))
+			if n := (sy1 - sy0) * (sx1 - sx0); n > 0 {
+				out[x] = byte(sum / n)
+			} else {
+				out[x] = 0
 			}
 		}
 	}
-	return out
 }
 
 // Hash is a 64-bit perceptual hash.
@@ -338,12 +474,19 @@ type Hash uint64
 // neighbour. Small photometric changes flip few bits; mirroring flips
 // roughly half.
 func DHash(im *Image) Hash {
-	small := im.Resize(9, 8)
+	var small [72]byte
+	im.resizePix(small[:], 9, 8)
+	return dhashOf(&small)
+}
+
+// dhashOf folds a 9x8 downsample into the difference hash.
+func dhashOf(small *[72]byte) Hash {
 	var h Hash
 	bit := 0
 	for y := 0; y < 8; y++ {
+		row := small[y*9 : y*9+9]
 		for x := 0; x < 8; x++ {
-			if small.At(x, y) > small.At(x+1, y) {
+			if row[x] > row[x+1] {
 				h |= 1 << uint(bit)
 			}
 			bit++
@@ -356,14 +499,20 @@ func DHash(im *Image) Hash {
 // whether the pixel exceeds the mean. PhotoDNA-style robust matching
 // uses AHash with a Hamming radius.
 func AHash(im *Image) Hash {
-	small := im.Resize(8, 8)
+	var small [64]byte
+	im.resizePix(small[:], 8, 8)
+	return ahashOf(&small)
+}
+
+// ahashOf folds an 8x8 downsample into the average hash.
+func ahashOf(small *[64]byte) Hash {
 	sum := 0
-	for _, p := range small.Pix {
+	for _, p := range small {
 		sum += int(p)
 	}
 	mean := byte(sum / 64)
 	var h Hash
-	for i, p := range small.Pix {
+	for i, p := range small {
 		if p > mean {
 			h |= 1 << uint(i)
 		}
@@ -391,9 +540,74 @@ type Hash128 struct {
 	D Hash
 }
 
-// Hash128Of computes the composite hash of an image.
+// Hash128Of computes the composite hash of an image. For rasters at
+// least 9x8 — every generated image — both downsamples are accumulated
+// in one traversal of the source with no heap allocation; smaller
+// rasters take the generic per-hash path (bit-identical either way).
 func Hash128Of(im *Image) Hash128 {
+	if im.W >= 9 && im.H >= 8 && im.W <= hash128ColBound {
+		return hash128Fused(im)
+	}
 	return Hash128{A: AHash(im), D: DHash(im)}
+}
+
+// hash128ColBound caps the raster width the fused fast path handles
+// with its stack-resident column accumulator; wider rasters take the
+// generic per-hash path. Study images are 48–150 pixels wide.
+const hash128ColBound = 512
+
+// hash128Fused computes both hash components in a single traversal of
+// the source raster. The 8x8 (average-hash) and 9x8 (difference-hash)
+// grids share their row bands, so each source row is loaded exactly
+// once into a per-column accumulator; at each band boundary the
+// column sums are reduced into both grids' cells along the x
+// boundaries. Per-cell counts come from the box boundaries, which for
+// W>=9 and H>=8 partition the raster exactly as Resize does (the
+// upsampling fixup never fires), keeping every output bit identical
+// to the AHash/DHash reference path. All state lives on the stack:
+// steady-state heap allocations are zero.
+func hash128Fused(im *Image) Hash128 {
+	w, h := im.W, im.H
+	var xb8 [9]int
+	var xb9 [10]int
+	for i := range xb8 {
+		xb8[i] = i * w / 8
+	}
+	for i := range xb9 {
+		xb9[i] = i * w / 9
+	}
+	// col holds one row band's per-column sums: 255 * H fits int32.
+	var col [hash128ColBound]int32
+	var small8 [64]byte
+	var small9 [72]byte
+	for ty := 0; ty < 8; ty++ {
+		sy0, sy1 := ty*h/8, (ty+1)*h/8
+		for i := 0; i < w; i++ {
+			col[i] = 0
+		}
+		for sy := sy0; sy < sy1; sy++ {
+			row := im.Pix[sy*w : (sy+1)*w]
+			for x, p := range row {
+				col[x] += int32(p)
+			}
+		}
+		rh := sy1 - sy0
+		for tx := 0; tx < 8; tx++ {
+			s := 0
+			for _, c := range col[xb8[tx]:xb8[tx+1]] {
+				s += int(c)
+			}
+			small8[ty*8+tx] = byte(s / (rh * (xb8[tx+1] - xb8[tx])))
+		}
+		for tx := 0; tx < 9; tx++ {
+			s := 0
+			for _, c := range col[xb9[tx]:xb9[tx+1]] {
+				s += int(c)
+			}
+			small9[ty*9+tx] = byte(s / (rh * (xb9[tx+1] - xb9[tx])))
+		}
+	}
+	return Hash128{A: ahashOf(&small8), D: dhashOf(&small9)}
 }
 
 // Distance returns the summed Hamming distance (0..128).

@@ -1,0 +1,315 @@
+package imagex
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+// randImage builds a w×h raster of uniform noise.
+func randImage(rng *randx.Rand, w, h int) *Image {
+	im := New(w, h, 0)
+	for i := range im.Pix {
+		im.Pix[i] = byte(rng.Intn(256))
+	}
+	return im
+}
+
+// --- reference kernels -------------------------------------------------
+//
+// The originals, verbatim, built on per-pixel At/Set. The row-slice
+// rewrites must reproduce them bit-for-bit: hashes derived from these
+// kernels feed the hashlist, the reverse index and the golden report.
+
+func refResize(im *Image, w, h int) *Image {
+	out := New(w, h, 0)
+	for y := 0; y < h; y++ {
+		sy0 := y * im.H / h
+		sy1 := (y + 1) * im.H / h
+		if sy1 <= sy0 {
+			sy1 = sy0 + 1
+		}
+		for x := 0; x < w; x++ {
+			sx0 := x * im.W / w
+			sx1 := (x + 1) * im.W / w
+			if sx1 <= sx0 {
+				sx1 = sx0 + 1
+			}
+			sum, n := 0, 0
+			for sy := sy0; sy < sy1 && sy < im.H; sy++ {
+				for sx := sx0; sx < sx1 && sx < im.W; sx++ {
+					sum += int(im.At(sx, sy))
+					n++
+				}
+			}
+			if n > 0 {
+				out.Set(x, y, byte(sum/n))
+			}
+		}
+	}
+	return out
+}
+
+func refMirror(im *Image) *Image {
+	out := New(im.W, im.H, 0)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			out.Set(im.W-1-x, y, im.At(x, y))
+		}
+	}
+	return out
+}
+
+func refRecompress(im *Image, levels int) *Image {
+	if levels < 2 {
+		levels = 2
+	}
+	if levels > 256 {
+		levels = 256
+	}
+	q := 256 / levels
+	if q < 1 {
+		q = 1
+	}
+	out := im.Clone()
+	for i, p := range out.Pix {
+		v := (int(p)/q)*q + q/2
+		if v > 255 {
+			v = 255
+		}
+		out.Pix[i] = byte(v)
+	}
+	return out
+}
+
+func refShade(im *Image, frac float64) *Image {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	out := im.Clone()
+	y0 := int(float64(im.H) * (1 - frac))
+	for y := y0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			out.Set(x, y, out.At(x, y)/3)
+		}
+	}
+	return out
+}
+
+func refSkinFraction(im *Image) float64 {
+	if len(im.Pix) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range im.Pix {
+		if p >= SkinLo && p <= SkinHi {
+			n++
+		}
+	}
+	return float64(n) / float64(len(im.Pix))
+}
+
+func refSkinCoherence(im *Image) float64 {
+	if im.W == 0 || im.H == 0 {
+		return 0
+	}
+	totalRun, runs := 0, 0
+	for y := 0; y < im.H; y++ {
+		run := 0
+		for x := 0; x < im.W; x++ {
+			if p := im.At(x, y); p >= SkinLo && p <= SkinHi {
+				run++
+			} else if run > 0 {
+				totalRun += run
+				runs++
+				run = 0
+			}
+		}
+		if run > 0 {
+			totalRun += run
+			runs++
+		}
+	}
+	if runs == 0 {
+		return 0
+	}
+	return float64(totalRun) / float64(runs) / float64(im.W)
+}
+
+// kernelSizes spans the shapes the study generates (48x48 models,
+// wide screenshots) plus degenerate and upsampling cases.
+var kernelSizes = [][2]int{
+	{48, 48}, {150, 60}, {9, 8}, {8, 8}, {7, 5}, {1, 1}, {64, 3}, {3, 64},
+}
+
+func TestKernelsMatchReference(t *testing.T) {
+	rng := randx.New(0xbeef)
+	for _, sz := range kernelSizes {
+		for trial := 0; trial < 4; trial++ {
+			im := randImage(rng, sz[0], sz[1])
+
+			for _, target := range [][2]int{{8, 8}, {9, 8}, {16, 16}, {100, 40}, {1, 1}} {
+				got := im.Resize(target[0], target[1])
+				want := refResize(im, target[0], target[1])
+				if !bytes.Equal(got.Pix, want.Pix) {
+					t.Fatalf("Resize(%v→%v) diverged from reference", sz, target)
+				}
+			}
+			if !bytes.Equal(im.Mirror().Pix, refMirror(im).Pix) {
+				t.Fatalf("Mirror(%v) diverged from reference", sz)
+			}
+			for _, levels := range []int{2, 16, 24, 32, 255, 256, 0} {
+				if !bytes.Equal(im.Recompress(levels).Pix, refRecompress(im, levels).Pix) {
+					t.Fatalf("Recompress(%v, %d) diverged from reference", sz, levels)
+				}
+			}
+			for _, frac := range []float64{0, 0.25, 0.5, 1, -1, 2} {
+				if !bytes.Equal(im.Shade(frac).Pix, refShade(im, frac).Pix) {
+					t.Fatalf("Shade(%v, %g) diverged from reference", sz, frac)
+				}
+			}
+			if got, want := im.SkinFraction(), refSkinFraction(im); got != want {
+				t.Fatalf("SkinFraction(%v) = %v, reference %v", sz, got, want)
+			}
+			if got, want := im.SkinCoherence(), refSkinCoherence(im); got != want {
+				t.Fatalf("SkinCoherence(%v) = %v, reference %v", sz, got, want)
+			}
+		}
+	}
+}
+
+// TestHash128FusedMatchesComponents pins the fused single-traversal
+// composite hash to the component hashes (which are themselves pinned
+// to the reference resize above) across shapes on both sides of the
+// fused-path threshold.
+func TestHash128FusedMatchesComponents(t *testing.T) {
+	rng := randx.New(0xcafe)
+	for _, sz := range kernelSizes {
+		for trial := 0; trial < 8; trial++ {
+			im := randImage(rng, sz[0], sz[1])
+			got := Hash128Of(im)
+			small8 := refResize(im, 8, 8)
+			sum := 0
+			for _, p := range small8.Pix {
+				sum += int(p)
+			}
+			mean := byte(sum / 64)
+			var a Hash
+			for i, p := range small8.Pix {
+				if p > mean {
+					a |= 1 << uint(i)
+				}
+			}
+			small9 := refResize(im, 9, 8)
+			var d Hash
+			bit := 0
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					if small9.At(x, y) > small9.At(x+1, y) {
+						d |= 1 << uint(bit)
+					}
+					bit++
+				}
+			}
+			if want := (Hash128{A: a, D: d}); got != want {
+				t.Fatalf("Hash128Of(%v) = %v, reference %v", sz, got, want)
+			}
+		}
+	}
+}
+
+// TestIntoVariantsMatch pins each *Into variant to its allocating
+// counterpart, including buffer reuse across differently-sized inputs.
+func TestIntoVariantsMatch(t *testing.T) {
+	rng := randx.New(0xf00d)
+	dst := GetImage(1, 1)
+	defer PutImage(dst)
+	for _, sz := range kernelSizes {
+		im := randImage(rng, sz[0], sz[1])
+
+		im.ResizeInto(dst, 8, 8)
+		if !bytes.Equal(dst.Pix, im.Resize(8, 8).Pix) {
+			t.Fatalf("ResizeInto(%v) diverged", sz)
+		}
+		im.MirrorInto(dst)
+		if !bytes.Equal(dst.Pix, im.Mirror().Pix) {
+			t.Fatalf("MirrorInto(%v) diverged", sz)
+		}
+		im.RecompressInto(dst, 24)
+		if !bytes.Equal(dst.Pix, im.Recompress(24).Pix) {
+			t.Fatalf("RecompressInto(%v) diverged", sz)
+		}
+		im.ShadeInto(dst, 0.25)
+		if !bytes.Equal(dst.Pix, im.Shade(0.25).Pix) {
+			t.Fatalf("ShadeInto(%v) diverged", sz)
+		}
+
+		// In-place forms.
+		inPlace := im.Clone()
+		inPlace.RecompressInto(inPlace, 24)
+		if !bytes.Equal(inPlace.Pix, im.Recompress(24).Pix) {
+			t.Fatalf("in-place RecompressInto(%v) diverged", sz)
+		}
+		inPlace = im.Clone()
+		inPlace.ShadeInto(inPlace, 0.25)
+		if !bytes.Equal(inPlace.Pix, im.Shade(0.25).Pix) {
+			t.Fatalf("in-place ShadeInto(%v) diverged", sz)
+		}
+	}
+}
+
+// TestHashImageZeroAlloc pins the zero-alloc claim of the tentpole:
+// hashing a study-shaped image must not touch the heap.
+func TestHashImageZeroAlloc(t *testing.T) {
+	im := GenModel(1, 0, PoseNude, 48)
+	if avg := testing.AllocsPerRun(200, func() { Hash128Of(im) }); avg != 0 {
+		t.Fatalf("Hash128Of allocates %.1f per op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { AHash(im) }); avg != 0 {
+		t.Fatalf("AHash allocates %.1f per op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { DHash(im) }); avg != 0 {
+		t.Fatalf("DHash allocates %.1f per op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { im.SkinStats() }); avg != 0 {
+		t.Fatalf("SkinStats allocates %.1f per op, want 0", avg)
+	}
+}
+
+// TestIntoVariantsSteadyStateAlloc pins the pooled transforms
+// allocation-free once the destination buffer has grown.
+func TestIntoVariantsSteadyStateAlloc(t *testing.T) {
+	im := GenModel(2, 1, PosePartial, 48)
+	dst := GetImage(im.W, im.H)
+	defer PutImage(dst)
+	if avg := testing.AllocsPerRun(100, func() {
+		im.MirrorInto(dst)
+		im.RecompressInto(dst, 24)
+		im.ShadeInto(dst, 0.25)
+		im.ResizeInto(dst, 9, 8)
+	}); avg != 0 {
+		t.Fatalf("Into chain allocates %.1f per op, want 0", avg)
+	}
+}
+
+func BenchmarkHash128Of(b *testing.B) {
+	im := GenModel(1, 0, PoseNude, 48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Hash128Of(im)
+	}
+}
+
+func BenchmarkSkinStats(b *testing.B) {
+	im := GenModel(1, 0, PoseNude, 48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im.SkinStats()
+	}
+}

@@ -53,8 +53,7 @@ func (s Scorer) Score(im *imagex.Image) float64 {
 	if exp == 0 {
 		exp = 1.7
 	}
-	f := im.SkinFraction()
-	c := im.SkinCoherence()
+	f, c := im.SkinStats()
 	cmul := cg * c
 	if cmul > 1 {
 		cmul = 1

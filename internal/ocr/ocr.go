@@ -27,11 +27,12 @@ const inkThreshold = 128
 // width 5); a space character adds a full 6-pixel advance.
 const wordGap = 6
 
-// template is a prepared glyph: its ink mask and a quick-reject probe
+// template is a prepared glyph: its ink mask (1 = ink, matching the
+// binarised raster's byte representation) and a quick-reject probe
 // (the first ink pixel).
 type template struct {
 	r       rune
-	mask    [imagex.GlyphH][imagex.GlyphW]bool
+	mask    [imagex.GlyphH][imagex.GlyphW]byte
 	probeX  int
 	probeY  int
 	inkArea int
@@ -49,7 +50,7 @@ func buildTemplates() []template {
 		for y := 0; y < imagex.GlyphH; y++ {
 			for x := 0; x < imagex.GlyphW; x++ {
 				if g[y][x] == '#' {
-					t.mask[y][x] = true
+					t.mask[y][x] = 1
 					t.inkArea++
 					if t.probeX < 0 {
 						t.probeX, t.probeY = x, y
@@ -83,11 +84,16 @@ func WordCount(im *imagex.Image) int { return Recognize(im).Words }
 // Recognize scans the image for font glyphs and groups them into
 // words and lines.
 func Recognize(im *imagex.Image) Result {
-	ink := binarise(im)
+	if im.W <= 0 || im.H <= 0 {
+		return Result{}
+	}
+	inkMask := binarise(im)
+	defer imagex.PutImage(inkMask)
+	ink := inkMask.Pix
 	rowHasInk := make([]bool, im.H)
 	for y := 0; y < im.H; y++ {
 		for x := 0; x < im.W; x++ {
-			if ink[y*im.W+x] {
+			if ink[y*im.W+x] != 0 {
 				rowHasInk[y] = true
 				break
 			}
@@ -122,10 +128,14 @@ func Recognize(im *imagex.Image) Result {
 	return Result{Glyphs: glyphs, Words: words, Text: text}
 }
 
-func binarise(im *imagex.Image) []bool {
-	ink := make([]bool, len(im.Pix))
+func binarise(im *imagex.Image) *imagex.Image {
+	ink := imagex.GetImage(im.W, im.H)
 	for i, p := range im.Pix {
-		ink[i] = p < inkThreshold
+		if p < inkThreshold {
+			ink.Pix[i] = 1
+		} else {
+			ink.Pix[i] = 0
+		}
 	}
 	return ink
 }
@@ -139,12 +149,12 @@ type candidate struct {
 // matchAt tries every template at position (x, y) and returns the
 // matched rune and its ink area. A match is exact: every '#' cell is
 // ink and every '.' cell is not.
-func matchAt(im *imagex.Image, ink []bool, x, y int) (rune, int, bool) {
+func matchAt(im *imagex.Image, ink []byte, x, y int) (rune, int, bool) {
 	w := im.W
 	for i := range templates {
 		t := &templates[i]
 		// Quick reject on the first ink pixel.
-		if !ink[(y+t.probeY)*w+x+t.probeX] {
+		if ink[(y+t.probeY)*w+x+t.probeX] == 0 {
 			continue
 		}
 		ok := true

@@ -156,3 +156,12 @@ func BenchmarkRecognizeModelPhoto(b *testing.B) {
 		_ = Recognize(im)
 	}
 }
+
+func TestRecognizeZeroDimensionImage(t *testing.T) {
+	// A degenerate raster must return an empty result, not panic in
+	// the pooled binarise path.
+	res := Recognize(&imagex.Image{})
+	if res.Words != 0 || len(res.Glyphs) != 0 || res.Text != "" {
+		t.Fatalf("zero-dim Recognize = %+v, want empty", res)
+	}
+}

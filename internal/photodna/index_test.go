@@ -1,0 +1,161 @@
+package photodna
+
+import (
+	"testing"
+
+	"repro/internal/imagex"
+	"repro/internal/randx"
+)
+
+// flipBits returns h with n distinct bits of the 128-bit composite
+// flipped, chosen by rng.
+func flipBits(rng *randx.Rand, h RobustHash, n int) RobustHash {
+	flipped := make(map[int]struct{}, n)
+	for len(flipped) < n {
+		b := rng.Intn(128)
+		if _, dup := flipped[b]; dup {
+			continue
+		}
+		flipped[b] = struct{}{}
+		if b < 64 {
+			h.A ^= 1 << uint(b)
+		} else {
+			h.D ^= 1 << uint(b-64)
+		}
+	}
+	return h
+}
+
+func randHash(rng *randx.Rand) RobustHash {
+	return RobustHash{A: imagex.Hash(rng.Uint64()), D: imagex.Hash(rng.Uint64())}
+}
+
+// TestMatchHashIndexEquivalence pins the tentpole invariant: the
+// chunked multi-index returns bit-identical (Entry, ok) results to the
+// linear reference scan, across random hashlists, radii on both sides
+// of the pigeonhole fallback boundary, and queries placed at exact
+// radius-boundary distances from known entries.
+func TestMatchHashIndexEquivalence(t *testing.T) {
+	rng := randx.New(0x9d5a)
+	for _, radius := range []int{1, 3, DefaultRadius, 15, 16, 40} {
+		for trial := 0; trial < 10; trial++ {
+			hl := NewHashList(radius)
+			entries := make([]RobustHash, 0, 200)
+			for i := 0; i < 200; i++ {
+				h := randHash(rng)
+				entries = append(entries, h)
+				// Non-unique IDs in random order exercise the
+				// lowest-ID tie-break.
+				hl.AddHash(h, Entry{ID: rng.Intn(50), Actionable: i%2 == 0})
+			}
+
+			var queries []RobustHash
+			for i := 0; i < 50; i++ {
+				queries = append(queries, randHash(rng))
+			}
+			// Queries at distance radius-1, radius and radius+1 from an
+			// entry: the boundary cases where an index that probes too
+			// few buckets, or verifies with the wrong cutoff, diverges.
+			for i := 0; i < 50; i++ {
+				base := entries[rng.Intn(len(entries))]
+				for _, d := range []int{radius - 1, radius, radius + 1} {
+					if d >= 0 && d <= 128 {
+						queries = append(queries, flipBits(rng, base, d))
+					}
+				}
+			}
+			// Exact hits and near-duplicates.
+			queries = append(queries, entries[0], flipBits(rng, entries[1], 1))
+
+			for qi, q := range queries {
+				hl.mu.RLock()
+				wantE, wantOK := hl.matchHashLinear(q)
+				hl.mu.RUnlock()
+				gotE, gotOK := hl.MatchHash(q)
+				if gotOK != wantOK || gotE != wantE {
+					t.Fatalf("radius=%d trial=%d query=%d: indexed=(%+v,%v) linear=(%+v,%v)",
+						radius, trial, qi, gotE, gotOK, wantE, wantOK)
+				}
+			}
+		}
+	}
+}
+
+// TestMatchHashIndexTieBreak plants several entries equidistant from
+// the query in different index buckets and checks the lowest ID wins,
+// exactly as the linear scan's documented tie-break.
+func TestMatchHashIndexTieBreak(t *testing.T) {
+	rng := randx.New(7)
+	for trial := 0; trial < 25; trial++ {
+		hl := NewHashList(8)
+		q := randHash(rng)
+		// Five entries at distance 4, IDs inserted in random order.
+		ids := rng.Perm(5)
+		lowest := 5
+		for _, id := range ids {
+			hl.AddHash(flipBits(rng, q, 4), Entry{ID: id})
+			if id < lowest {
+				lowest = id
+			}
+		}
+		// A farther entry with an even lower ID must not win.
+		hl.AddHash(flipBits(rng, q, 7), Entry{ID: -1})
+		e, ok := hl.MatchHash(q)
+		if !ok || e.ID != 0 {
+			t.Fatalf("trial %d: got (%+v, %v), want lowest equidistant ID 0", trial, e, ok)
+		}
+	}
+}
+
+// TestAddHashReplacementReindexes re-adds an existing hash with a new
+// entry and checks matching sees the replacement exactly once.
+func TestAddHashReplacementReindexes(t *testing.T) {
+	hl := NewHashList(4)
+	h := RobustHash{A: 0xf0f0}
+	hl.AddHash(h, Entry{ID: 9})
+	hl.AddHash(h, Entry{ID: 2, Actionable: true})
+	if hl.Len() != 1 {
+		t.Fatalf("Len = %d after replacement, want 1", hl.Len())
+	}
+	e, ok := hl.MatchHash(h)
+	if !ok || e.ID != 2 || !e.Actionable {
+		t.Fatalf("MatchHash = (%+v, %v), want the replacing entry", e, ok)
+	}
+}
+
+// TestMatchHashZeroAlloc pins the hot path allocation-free: a probe
+// over a populated hashlist must not allocate.
+func TestMatchHashZeroAlloc(t *testing.T) {
+	rng := randx.New(3)
+	hl := NewHashList(0)
+	for i := 0; i < 500; i++ {
+		hl.AddHash(randHash(rng), Entry{ID: i})
+	}
+	q := randHash(rng)
+	if avg := testing.AllocsPerRun(200, func() { hl.MatchHash(q) }); avg != 0 {
+		t.Fatalf("MatchHash allocates %.1f per op, want 0", avg)
+	}
+}
+
+// BenchmarkMatchHashIndexed measures the indexed probe against the
+// linear reference on the same 5000-entry hashlist.
+func BenchmarkMatchHashIndexed(b *testing.B) {
+	rng := randx.New(11)
+	hl := NewHashList(0)
+	for i := 0; i < 5000; i++ {
+		hl.AddHash(randHash(rng), Entry{ID: i})
+	}
+	q := randHash(rng)
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hl.MatchHash(q)
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hl.mu.RLock()
+			hl.matchHashLinear(q)
+			hl.mu.RUnlock()
+		}
+	})
+}

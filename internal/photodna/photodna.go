@@ -137,12 +137,40 @@ type Entry struct {
 	VictimAge int
 }
 
+// numChunks splits the 128-bit composite hash into 16 byte-wide
+// chunks for the multi-index. By the pigeonhole principle, two hashes
+// within summed Hamming distance d < numChunks must agree exactly on
+// at least one chunk, so probing the 16 exact-match buckets of a query
+// finds every entry within any radius up to 15 — and DefaultRadius is
+// 10. Wider radii fall back to the linear scan.
+const numChunks = 16
+
+// chunkOf extracts chunk c (0..15) of a hash: bytes 0..7 of the
+// average-hash half, then bytes 0..7 of the difference-hash half.
+func chunkOf(h RobustHash, c int) byte {
+	if c < 8 {
+		return byte(uint64(h.A) >> (8 * uint(c)))
+	}
+	return byte(uint64(h.D) >> (8 * uint(c-8)))
+}
+
 // HashList matches image hashes against known entries within a
 // summed-Hamming radius. Safe for concurrent use.
+//
+// Matching is sub-linear: entries are bucketed by the exact value of
+// each of their 16 hash chunks, a query probes only its own 16
+// buckets, and candidates are verified with the full Distance. Every
+// entry within the radius shares at least one chunk with the query
+// (see numChunks), so the index returns bit-identical results to a
+// full scan — including the deterministic lowest-ID tie-break — which
+// TestMatchHashIndexEquivalence pins.
 type HashList struct {
 	mu      sync.RWMutex
 	radius  int
 	entries map[RobustHash]Entry
+	// index maps (chunk number << 8 | chunk value) to the entry hashes
+	// carrying that chunk value. A hash appears once per chunk.
+	index map[uint16][]RobustHash
 }
 
 // DefaultRadius is the matching radius used by the study: wide enough
@@ -157,7 +185,11 @@ func NewHashList(radius int) *HashList {
 	if radius <= 0 {
 		radius = DefaultRadius
 	}
-	return &HashList{radius: radius, entries: make(map[RobustHash]Entry)}
+	return &HashList{
+		radius:  radius,
+		entries: make(map[RobustHash]Entry),
+		index:   make(map[uint16][]RobustHash),
+	}
 }
 
 // Add registers an entry under the hash of the given image.
@@ -165,10 +197,17 @@ func (hl *HashList) Add(im *imagex.Image, e Entry) {
 	hl.AddHash(HashImage(im), e)
 }
 
-// AddHash registers an entry under a precomputed hash.
+// AddHash registers an entry under a precomputed hash. Re-adding a
+// hash replaces its entry.
 func (hl *HashList) AddHash(h RobustHash, e Entry) {
 	hl.mu.Lock()
 	defer hl.mu.Unlock()
+	if _, exists := hl.entries[h]; !exists {
+		for c := 0; c < numChunks; c++ {
+			k := uint16(c)<<8 | uint16(chunkOf(h, c))
+			hl.index[k] = append(hl.index[k], h)
+		}
+	}
 	hl.entries[h] = e
 }
 
@@ -192,6 +231,39 @@ func (hl *HashList) Match(im *imagex.Image) (Entry, bool) {
 func (hl *HashList) MatchHash(h RobustHash) (Entry, bool) {
 	hl.mu.RLock()
 	defer hl.mu.RUnlock()
+	if hl.radius >= numChunks {
+		// The pigeonhole guarantee needs radius < numChunks; wider
+		// radii scan.
+		return hl.matchHashLinear(h)
+	}
+	best := hl.radius + 1
+	var found Entry
+	ok := false
+	for c := 0; c < numChunks; c++ {
+		for _, eh := range hl.index[uint16(c)<<8|uint16(chunkOf(h, c))] {
+			d := h.Distance(eh)
+			if d > best || d > hl.radius {
+				continue
+			}
+			// A candidate sharing several chunks is visited once per
+			// shared chunk; re-evaluation is a no-op (same distance,
+			// same ID), so no dedup set is needed.
+			e := hl.entries[eh]
+			if d < best || !ok || e.ID < found.ID {
+				best = d
+				found = e
+				ok = true
+			}
+		}
+	}
+	return found, ok
+}
+
+// matchHashLinear is the reference full scan over every entry. It is
+// the semantic definition MatchHash must reproduce bit-for-bit; the
+// equivalence test compares the two on random hashlists and radii.
+// Callers must hold at least a read lock.
+func (hl *HashList) matchHashLinear(h RobustHash) (Entry, bool) {
 	best := hl.radius + 1
 	var found Entry
 	ok := false

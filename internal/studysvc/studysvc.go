@@ -62,6 +62,12 @@ type Config struct {
 	// (default 64): each cell is a full study, so a sweep is the
 	// service's most expensive request by far.
 	MaxSweepCells int
+	// WorldCacheSize bounds how many generated worlds stay resident
+	// for reuse across runs with the same canonical synth config
+	// (default 2; negative disables sharing). Worlds are the largest
+	// object the service holds, so the bound trades regeneration time
+	// against steady-state memory.
+	WorldCacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +85,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSweepCells <= 0 {
 		c.MaxSweepCells = 64
+	}
+	if c.WorldCacheSize == 0 {
+		c.WorldCacheSize = 2
 	}
 	return c
 }
@@ -263,12 +272,18 @@ type Service struct {
 	sweeps     map[string]*sweepRun
 	sweepOrder []string
 	nextSweep  int
+
+	// worlds shares generated synth worlds across runs whose canonical
+	// synth configs match (LRU-bounded; safe — runs never mutate their
+	// world). Server-side sweep cells varying only annotation/workers
+	// hit it hardest.
+	worlds *sweep.WorldCache
 }
 
 // New builds a service.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.MaxConcurrentRuns),
 		inflight: make(map[string]*run),
@@ -277,6 +292,10 @@ func New(cfg Config) *Service {
 		cache:    make(map[string]*list.Element),
 		sweeps:   make(map[string]*sweepRun),
 	}
+	if cfg.WorldCacheSize > 0 {
+		s.worlds = sweep.NewWorldCache(cfg.WorldCacheSize)
+	}
+	return s
 }
 
 // getOrStart returns the run for the canonical options: a cached
@@ -317,7 +336,16 @@ func (s *Service) execute(r *run) {
 	defer func() { <-s.sem }()
 
 	start := time.Now()
-	study := core.NewStudy(r.opts.coreOptions())
+	// Worlds are shared across runs with the same canonical synth
+	// config: server-side sweep cells (and study requests) that only
+	// vary annotation/workers/crawl reuse one generated world.
+	opts := r.opts.coreOptions()
+	var study *core.Study
+	if s.worlds != nil {
+		study = core.NewStudyWithWorld(opts, s.worlds.Get(opts.Synth))
+	} else {
+		study = core.NewStudy(opts)
+	}
 	res, err := study.Run(context.Background())
 	elapsed := time.Since(start)
 

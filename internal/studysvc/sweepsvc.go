@@ -116,14 +116,22 @@ func (s *Service) handleSweep(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad sweep spec: %v", err))
 		return
 	}
-	cells, err := spec.Cells()
+	// Bound the plan BEFORE expanding it: a spec is a few bytes of
+	// JSON but can plan billions of cells, and Cells() materializes
+	// them — the count check must not cost the allocation it rejects.
+	n, err := spec.CountCells()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if len(cells) > s.cfg.MaxSweepCells {
+	if n > s.cfg.MaxSweepCells {
 		httpError(w, http.StatusUnprocessableEntity,
-			fmt.Sprintf("sweep plans %d cells, service limit is %d", len(cells), s.cfg.MaxSweepCells))
+			fmt.Sprintf("sweep plans %d cells, service limit is %d", n, s.cfg.MaxSweepCells))
+		return
+	}
+	cells, err := spec.Cells()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	for _, c := range cells {

@@ -114,6 +114,12 @@ func TestSweepValidation(t *testing.T) {
 	if _, err := c.RunSweep(ctx, sweep.Spec{Preset: sweep.PresetCrossSeed, Seeds: 10, Scale: 0.01}); err == nil {
 		t.Fatal("10-cell sweep accepted over a 4-cell limit")
 	}
+	// A few bytes of spec can plan billions of cells; the limit must be
+	// enforced on the counted plan, before the cells are materialized —
+	// this request OOMs the service if the check expands first.
+	if _, err := c.RunSweep(ctx, sweep.Spec{Preset: sweep.PresetCrossSeed, Seeds: 2_000_000_000, Scale: 0.01}); err == nil {
+		t.Fatal("2e9-cell sweep accepted")
+	}
 	if st := svc.Stats(); st.RunsStarted != 0 {
 		t.Fatalf("rejected sweeps started %d runs", st.RunsStarted)
 	}

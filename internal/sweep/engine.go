@@ -29,12 +29,27 @@ type CellResult struct {
 
 // Local runs each cell as an in-process core.Study on the concurrent
 // engine.
-type Local struct{}
+type Local struct {
+	// Worlds, when set, shares one generated world across every cell
+	// with the same canonical synth config, so a grid that only varies
+	// annotation size, workers or crawl concurrency generates its
+	// world once instead of once per cell. Results are bit-identical
+	// either way (generation is deterministic and runs never mutate
+	// the world); TestCachedSweepMatchesUncached pins it.
+	Worlds *WorldCache
+}
 
-// RunCell generates the cell's world and runs the full study.
-func (Local) RunCell(ctx context.Context, c Cell) (CellResult, error) {
+// RunCell generates (or fetches) the cell's world and runs the full
+// study.
+func (l Local) RunCell(ctx context.Context, c Cell) (CellResult, error) {
 	start := time.Now()
-	study := core.NewStudy(c.Options())
+	opts := c.Options()
+	var study *core.Study
+	if l.Worlds != nil {
+		study = core.NewStudyWithWorld(opts, l.Worlds.Get(opts.Synth))
+	} else {
+		study = core.NewStudy(opts)
+	}
 	res, err := study.Run(ctx)
 	if err != nil {
 		return CellResult{}, err

@@ -15,6 +15,7 @@ package sweep
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/core"
@@ -172,6 +173,25 @@ func (sp Spec) Name() string {
 	return sp.Preset
 }
 
+// presetSeeds resolves the seed-axis length a preset plans: an
+// explicit Seeds wins; otherwise the empty spec runs one cell, the
+// scale ladder defaults to 3 seeds and the other presets to 5. Cells
+// and CountCells both build on it, so the counted plan can never
+// diverge from the materialized one on the seed axis.
+func (sp Spec) presetSeeds() int {
+	if sp.Seeds > 0 {
+		return sp.Seeds
+	}
+	switch sp.Preset {
+	case "":
+		return 1
+	case PresetScale:
+		return 3
+	default:
+		return 5
+	}
+}
+
 // seedRange returns n consecutive seeds starting at base.
 func seedRange(base uint64, n int) []uint64 {
 	seeds := make([]uint64, n)
@@ -214,20 +234,11 @@ func (sp Spec) Cells() ([]Cell, error) {
 		}
 		return g.Cells(), nil
 	}
-	seeds := sp.Seeds
-	if seeds <= 0 {
-		seeds = 5
-	}
+	seeds := sp.presetSeeds()
 	switch sp.Preset {
 	case "", PresetCrossSeed:
 		// N worlds differing only in seed: the variance of every
 		// artefact across them is the calibration claim, measured.
-		if sp.Preset == "" {
-			seeds = 1
-			if sp.Seeds > 0 {
-				seeds = sp.Seeds
-			}
-		}
 		return Grid{
 			Seeds:       seedRange(base.Seed, seeds),
 			Scales:      []float64{base.Scale},
@@ -237,9 +248,6 @@ func (sp Spec) Cells() ([]Cell, error) {
 	case PresetScale:
 		// A scale ladder per seed: slopes of artefact-vs-scale separate
 		// quantities that grow with the world from calibrated rates.
-		if seeds == 5 && sp.Seeds <= 0 {
-			seeds = 3
-		}
 		return Grid{
 			Seeds:       seedRange(base.Seed, seeds),
 			Scales:      scaleLadder(base.Scale),
@@ -258,6 +266,59 @@ func (sp Spec) Cells() ([]Cell, error) {
 	default:
 		return nil, fmt.Errorf("sweep: unknown preset %q (have %v)", sp.Preset, Presets())
 	}
+}
+
+// CountCells returns the number of cells Cells would plan, without
+// materializing them — so a service can bound a request's cost before
+// paying the expansion (a spec is a few bytes of JSON but can plan
+// billions of cells). The count saturates at math.MaxInt instead of
+// overflowing. TestCountCellsMatchesCells pins it to len(Cells()).
+func (sp Spec) CountCells() (int, error) {
+	axis := func(n int) int {
+		if n == 0 {
+			return 1
+		}
+		return n
+	}
+	if sp.Grid != nil {
+		g := sp.Grid
+		seeds := len(g.Seeds)
+		if seeds == 0 {
+			seeds = sp.Seeds
+			if seeds <= 0 {
+				seeds = 1
+			}
+		}
+		return mulSat(seeds, axis(len(g.Scales)), axis(len(g.Annotations)),
+			axis(len(g.Workers)), axis(len(g.CrawlConcurrencies))), nil
+	}
+	seeds := sp.presetSeeds()
+	switch sp.Preset {
+	case "", PresetCrossSeed:
+		return seeds, nil
+	case PresetScale:
+		base := Cell{Seed: sp.Seed, Scale: sp.Scale}.normalize()
+		return mulSat(seeds, len(scaleLadder(base.Scale))), nil
+	case PresetConcurrency:
+		return mulSat(seeds, 4), nil
+	default:
+		return 0, fmt.Errorf("sweep: unknown preset %q (have %v)", sp.Preset, Presets())
+	}
+}
+
+// mulSat multiplies positive factors, saturating at math.MaxInt.
+func mulSat(factors ...int) int {
+	n := 1
+	for _, f := range factors {
+		if f <= 0 {
+			continue
+		}
+		if n > math.MaxInt/f {
+			return math.MaxInt
+		}
+		n *= f
+	}
+	return n
 }
 
 // groupKey identifies a cross-seed group: every grid dimension except

@@ -1,0 +1,110 @@
+package sweep
+
+import (
+	"sync"
+
+	"repro/internal/synth"
+)
+
+// WorldCache shares generated synth worlds across sweep cells. A cell
+// is a full study, but its world depends only on the canonical synth
+// config (seed, scale, image size) — so cells that vary annotation
+// size, stage workers or crawl concurrency regenerate byte-identical
+// worlds. PR 3's sweeps paid that generation per cell; the cache pays
+// it once per distinct config and hands every other cell the same
+// immutable *synth.World (safe: a study run never mutates its world —
+// DESIGN.md §3, §8).
+//
+// The cache is size-bounded: beyond Max distinct configs the least
+// recently used world is dropped, so a long scale ladder cannot pin
+// every generated world in memory. Generation is deduplicated —
+// concurrent cells asking for the same config block on one generate.
+// Safe for concurrent use.
+type WorldCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[synth.Config]*worldEntry
+	// order is the LRU list, most recently used last. Sweeps hold a
+	// handful of configs, so a slice beats list bookkeeping.
+	order []synth.Config
+
+	generated int
+}
+
+// worldEntry dedups generation: the first goroutine to need a config
+// generates inside the Once while later ones block on it.
+type worldEntry struct {
+	once  sync.Once
+	world *synth.World
+}
+
+// DefaultWorldCacheSize bounds the cache when NewWorldCache is given
+// no limit: enough for a scale ladder's distinct configs, small
+// enough that worlds from past sweeps don't accumulate.
+const DefaultWorldCacheSize = 4
+
+// NewWorldCache returns a cache holding at most max distinct worlds
+// (DefaultWorldCacheSize if max <= 0).
+func NewWorldCache(max int) *WorldCache {
+	if max <= 0 {
+		max = DefaultWorldCacheSize
+	}
+	return &WorldCache{max: max, entries: make(map[synth.Config]*worldEntry)}
+}
+
+// Get returns the generated world for the config, generating it on
+// first use. Configs are canonicalized first, so sparsely-written and
+// fully-written configs share an entry exactly when core.NewStudy
+// would build the same world for both.
+func (wc *WorldCache) Get(cfg synth.Config) *synth.World {
+	key := cfg.Canonical()
+	wc.mu.Lock()
+	e, ok := wc.entries[key]
+	if ok {
+		wc.touch(key)
+	} else {
+		e = &worldEntry{}
+		wc.entries[key] = e
+		wc.order = append(wc.order, key)
+		for len(wc.order) > wc.max {
+			evict := wc.order[0]
+			wc.order = wc.order[1:]
+			delete(wc.entries, evict)
+		}
+	}
+	wc.mu.Unlock()
+	e.once.Do(func() {
+		e.world = synth.Generate(key)
+		wc.mu.Lock()
+		wc.generated++
+		wc.mu.Unlock()
+	})
+	return e.world
+}
+
+// touch moves key to the most-recently-used end of the LRU order.
+func (wc *WorldCache) touch(key synth.Config) {
+	for i, k := range wc.order {
+		if k == key {
+			copy(wc.order[i:], wc.order[i+1:])
+			wc.order[len(wc.order)-1] = key
+			return
+		}
+	}
+}
+
+// Len returns the number of cached worlds.
+func (wc *WorldCache) Len() int {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	return len(wc.entries)
+}
+
+// Generated returns how many worlds the cache has built — the measure
+// of work the cache saved a sweep (cells minus Generated, for cells
+// sharing configs).
+func (wc *WorldCache) Generated() int {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	return wc.generated
+}

@@ -1,0 +1,111 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// TestCachedSweepMatchesUncached pins the tentpole acceptance
+// criterion: a sweep whose cells share cached worlds aggregates
+// DeepEqual to the same sweep regenerating every world — across a
+// grid that both shares configs (annotation and crawl-concurrency
+// axes) and does not (a second seed).
+func TestCachedSweepMatchesUncached(t *testing.T) {
+	cells := Grid{
+		Seeds:              []uint64{2019, 2020},
+		Scales:             []float64{0.01},
+		Annotations:        []int{150, 200},
+		CrawlConcurrencies: []int{2, 4},
+	}.Cells()
+	ctx := context.Background()
+
+	plain := Run(ctx, "cache-pair", cells, Local{}, Options{Parallelism: 2})
+	cache := NewWorldCache(0)
+	cached := Run(ctx, "cache-pair", cells, Local{Worlds: cache}, Options{Parallelism: 2})
+
+	if len(plain.Errors) != 0 || len(cached.Errors) != 0 {
+		t.Fatalf("unexpected errors: %v / %v", plain.Errors, cached.Errors)
+	}
+	if !reflect.DeepEqual(plain.Aggregate, cached.Aggregate) {
+		t.Fatalf("cached sweep aggregate differs from uncached:\n%+v\nvs\n%+v",
+			cached.Aggregate, plain.Aggregate)
+	}
+	for i := range plain.Cells {
+		if !reflect.DeepEqual(plain.Cells[i].Summary, cached.Cells[i].Summary) {
+			t.Fatalf("cell %d summary differs under the world cache", i)
+		}
+	}
+	// 8 cells span exactly 2 distinct synth configs (the seeds); the
+	// cache must have generated one world per config, not per cell.
+	if got := cache.Generated(); got != 2 {
+		t.Fatalf("cache generated %d worlds for 8 cells over 2 configs", got)
+	}
+}
+
+// TestWorldCacheSingleflight hammers one config from many goroutines:
+// exactly one generation may happen, and everyone gets that world.
+func TestWorldCacheSingleflight(t *testing.T) {
+	wc := NewWorldCache(2)
+	cfg := synth.Config{Seed: 7, Scale: 0.01}
+	worlds := make([]*synth.World, 16)
+	var wg sync.WaitGroup
+	for i := range worlds {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			worlds[i] = wc.Get(cfg)
+		}(i)
+	}
+	wg.Wait()
+	if wc.Generated() != 1 {
+		t.Fatalf("generated %d worlds for one config", wc.Generated())
+	}
+	for i, w := range worlds {
+		if w != worlds[0] {
+			t.Fatalf("goroutine %d got a different world pointer", i)
+		}
+	}
+}
+
+// TestWorldCacheCanonicalKey: a sparsely-written config and its
+// canonical form share one entry.
+func TestWorldCacheCanonicalKey(t *testing.T) {
+	wc := NewWorldCache(2)
+	a := wc.Get(synth.Config{Seed: 2019, Scale: 0.01})
+	b := wc.Get(synth.Config{Seed: 2019, Scale: 0.01, ImageSize: 48})
+	if a != b {
+		t.Fatal("canonically-equal configs generated distinct worlds")
+	}
+	if wc.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", wc.Len())
+	}
+}
+
+// TestWorldCacheBounded: the LRU bound holds and evicted configs
+// regenerate on return.
+func TestWorldCacheBounded(t *testing.T) {
+	wc := NewWorldCache(2)
+	c1 := synth.Config{Seed: 1, Scale: 0.01}
+	c2 := synth.Config{Seed: 2, Scale: 0.01}
+	c3 := synth.Config{Seed: 3, Scale: 0.01}
+	wc.Get(c1)
+	wc.Get(c2)
+	wc.Get(c1) // refresh c1: c2 is now least recently used
+	wc.Get(c3) // evicts c2
+	if wc.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", wc.Len())
+	}
+	gen := wc.Generated()
+	wc.Get(c1) // still cached
+	if wc.Generated() != gen {
+		t.Fatal("c1 was evicted; LRU refresh did not protect it")
+	}
+	wc.Get(c2) // evicted above, regenerates
+	if wc.Generated() != gen+1 {
+		t.Fatalf("evicted config did not regenerate (generated %d)", wc.Generated())
+	}
+}

@@ -35,6 +35,13 @@ func DefaultConfig() Config {
 	return Config{Seed: 2019, Scale: 0.05, ImageSize: 48}
 }
 
+// Canonical returns the config with every defaulted field filled in —
+// the identity under which two configs generate the same world.
+// Config is comparable, so the canonical form is a cache key: the
+// sweep engine's world cache shares one generated world across all
+// study cells whose canonical synth configs are equal.
+func (c Config) Canonical() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.Scale <= 0 {
 		c.Scale = 0.05

@@ -156,13 +156,15 @@ func (w *World) uploadPreview(st *forumState, model *Model, created time.Time) s
 		// images, possibly modified.
 		idx := w.hotImage(rng, model)
 		img := w.ModelImage(model, idx)
+		// img is freshly regenerated, so the preview modifications run
+		// in place on it instead of allocating transformed copies.
 		switch {
 		case rng.Bool(0.30):
 			img = img.Watermark(strings.ToUpper(st.spec.Name[:2]) + ".NET")
 		case rng.Bool(0.20):
-			img = img.Shade(0.25)
+			img.ShadeInto(img, 0.25)
 		case rng.Bool(0.25):
-			img = img.Recompress(24)
+			img.RecompressInto(img, 24)
 		}
 		site.PutImage(path, img)
 	default:
@@ -208,6 +210,8 @@ func (w *World) uploadPack(st *forumState, model *Model) (string, bool) {
 		if rng.Bool(0.2) && i != model.Flagged {
 			continue
 		}
+		// img is freshly regenerated per pack member, so the actor
+		// transform mix runs in place instead of allocating copies.
 		img := w.ModelImage(model, i)
 		r := rng.Float64()
 		switch {
@@ -215,14 +219,14 @@ func (w *World) uploadPack(st *forumState, model *Model) (string, bool) {
 			// Flagged material circulates unmodified or recompressed —
 			// PhotoDNA must still match it.
 			if rng.Bool(0.5) {
-				img = img.Recompress(32)
+				img.RecompressInto(img, 32)
 			}
 		case r < 0.20:
-			img = img.Recompress(24)
+			img.RecompressInto(img, 24)
 		case r < 0.25:
 			img = img.Watermark("PACK")
 		case r < 0.30:
-			img = img.Mirror()
+			img.MirrorInto(img)
 		}
 		images = append(images, img)
 	}
