@@ -32,6 +32,8 @@ bench-smoke:
 	$(GO) run ./cmd/benchjson -in bench_pipeline.txt -out BENCH_pipeline.fresh.json
 	$(GO) test -run='^$$' -bench=SweepCrossSeed -benchtime=3x . | tee bench_sweep.txt
 	$(GO) run ./cmd/benchjson -in bench_sweep.txt -out BENCH_sweep.fresh.json
+	$(GO) test -run='^$$' -bench=ArtefactReuse -benchtime=3x . | tee bench_artefact.txt
+	$(GO) run ./cmd/benchjson -in bench_artefact.txt -out BENCH_artefact.fresh.json
 
 # Benchmark-regression gate: a fresh smoke run must stay within
 # BENCH_TOLERANCE of the committed baselines; it also fails when a
@@ -43,15 +45,18 @@ BENCH_TOLERANCE ?= 0.30
 bench-diff: bench-smoke
 	$(GO) run ./cmd/benchjson -diff -baseline BENCH_pipeline.json -in BENCH_pipeline.fresh.json -tolerance $(BENCH_TOLERANCE)
 	$(GO) run ./cmd/benchjson -diff -baseline BENCH_sweep.json -in BENCH_sweep.fresh.json -tolerance $(BENCH_TOLERANCE)
+	$(GO) run ./cmd/benchjson -diff -baseline BENCH_artefact.json -in BENCH_artefact.fresh.json -tolerance $(BENCH_TOLERANCE)
 
 # Refresh the committed baselines from a fresh smoke run (run after an
 # intentional perf change, then commit the BENCH_*.json files).
 bench-baseline: bench-smoke
 	cp BENCH_pipeline.fresh.json BENCH_pipeline.json
 	cp BENCH_sweep.fresh.json BENCH_sweep.json
+	cp BENCH_artefact.fresh.json BENCH_artefact.json
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
 clean:
-	rm -f bench_pipeline.txt bench_sweep.txt BENCH_pipeline.fresh.json BENCH_sweep.fresh.json
+	rm -f bench_pipeline.txt bench_sweep.txt bench_artefact.txt \
+		BENCH_pipeline.fresh.json BENCH_sweep.fresh.json BENCH_artefact.fresh.json

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/actors"
+	"repro/internal/artefact"
 	"repro/internal/core"
 	"repro/internal/crawler"
 	"repro/internal/domaincls"
@@ -568,6 +569,47 @@ func BenchmarkSweepWorldCache(b *testing.B) {
 	}
 	b.Run("uncached", func(b *testing.B) { run(b, sweep.Local{}) })
 	b.Run("cached", func(b *testing.B) { run(b, sweep.Local{Worlds: sweep.NewWorldCache(0)}) })
+}
+
+// BenchmarkArtefactReuse measures what the artefact memo store saves
+// an annotation-only sweep: the cold pass computes every node for
+// both annotation cells (sharing only the world-keyed selection),
+// the warm pass re-runs the identical sweep against the primed store
+// and recomputes nothing — zero crawls, zero reverse searches. The
+// cold/warm gap is the artefact graph's reuse dividend; CI's
+// bench-smoke job gates it as BENCH_artefact.json.
+func BenchmarkArtefactReuse(b *testing.B) {
+	cells := sweep.Grid{
+		Seeds:       []uint64{2019},
+		Scales:      []float64{0.01},
+		Annotations: []int{150, 200},
+	}.Cells()
+	runSweep := func(b *testing.B, backend sweep.Backend) {
+		res := sweep.Run(context.Background(), "bench", cells, backend,
+			sweep.Options{Parallelism: 2})
+		if len(res.Errors) != 0 {
+			b.Fatalf("sweep errors: %v", res.Errors)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runSweep(b, sweep.Local{
+				Worlds: sweep.NewWorldCache(0),
+				Memo:   artefact.NewStore(0),
+			})
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		backend := sweep.Local{
+			Worlds: sweep.NewWorldCache(0),
+			Memo:   artefact.NewStore(0),
+		}
+		runSweep(b, backend) // prime the store
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runSweep(b, backend)
+		}
+	})
 }
 
 // earningsPlatformSanity keeps the earnings import exercised and

@@ -6,6 +6,10 @@
 // implementation instead (both produce identical results for the same
 // seed).
 //
+// With -only the run is selective: only the named tables/figures (and
+// the artefact subgraph they depend on) execute — the node table then
+// shows which artefacts ran and what each cost.
+//
 // With -remote the study is not run in-process at all: the options are
 // POSTed to a live study service (cmd/ewserve's -study address) and
 // the server's summary, stage table and cache verdict are printed.
@@ -17,6 +21,7 @@
 // Usage:
 //
 //	ewpipeline [-seed N] [-scale F] [-workers N] [-seq]
+//	ewpipeline -only table5,figure2 [-seed N] [-scale F]
 //	ewpipeline -cpuprofile cpu.pb.gz -memprofile mem.pb.gz [-seed N] [-scale F]
 //	ewpipeline -remote http://127.0.0.1:8084 [-seed N] [-scale F] [-workers N]
 package main
@@ -30,8 +35,10 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/pipeline"
+	"repro/internal/report"
 	"repro/internal/studysvc"
 	"repro/internal/synth"
 )
@@ -48,6 +55,7 @@ func run() int {
 	scale := flag.Float64("scale", 0.05, "corpus scale")
 	workers := flag.Int("workers", 0, "pipeline stage workers (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "run the sequential reference implementation")
+	only := flag.String("only", "", "comma-separated tables/figures to compute (e.g. table5,figure2); empty = the full study")
 	remote := flag.String("remote", "", "drive a live study service at this base URL instead of running in-process")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
@@ -83,18 +91,23 @@ func run() int {
 		}
 	}()
 
+	names := cliutil.SplitNames(*only)
 	if *remote != "" {
 		if *seq {
 			fmt.Fprintln(os.Stderr, "ewpipeline: -seq and -remote are mutually exclusive (the service runs the concurrent engine)")
 			return 1
 		}
 		if err := runRemote(ctx, *remote, studysvc.Request{
-			Seed: *seed, Scale: *scale, Workers: *workers,
+			Seed: *seed, Scale: *scale, Workers: *workers, Artefacts: names,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "ewpipeline:", err)
 			return 1
 		}
 		return 0
+	}
+	if *seq && len(names) > 0 {
+		fmt.Fprintln(os.Stderr, "ewpipeline: -seq and -only are mutually exclusive (selective execution runs on the artefact graph)")
+		return 1
 	}
 
 	study := core.NewStudy(core.Options{
@@ -102,6 +115,25 @@ func run() int {
 		Workers: *workers,
 	})
 	defer study.Close()
+
+	if len(names) > 0 {
+		fmt.Printf("==> computing %v (seed=%d scale=%g)\n", names, *seed, *scale)
+		start := time.Now()
+		res, err := study.Compute(ctx, names...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ewpipeline:", err)
+			return 1
+		}
+		out, err := report.Render(res, names...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ewpipeline:", err)
+			return 1
+		}
+		fmt.Printf("\n%s", out)
+		printStages("artefact nodes", study.PipelineStats())
+		fmt.Printf("\nselection complete in %v\n", time.Since(start).Round(time.Millisecond))
+		return 0
+	}
 
 	mode := "concurrent"
 	if *seq {
@@ -182,17 +214,14 @@ func printStages(title string, snaps []pipeline.StageSnapshot) {
 }
 
 // runRemote drives one study against a live service and prints the
-// server's view of it.
+// server's view of it — the full summary blocks, or the partial
+// report when the request carried an artefact selection.
 func runRemote(ctx context.Context, baseURL string, req studysvc.Request) error {
 	fmt.Printf("==> running study via %s (seed=%d scale=%g)\n", baseURL, req.Seed, req.Scale)
 	start := time.Now()
-	c := studysvc.NewClient(baseURL, nil)
-	env, err := c.Run(ctx, req)
+	env, err := cliutil.RunRemote(ctx, baseURL, req)
 	if err != nil {
 		return err
-	}
-	if env.Status != studysvc.StatusDone {
-		return fmt.Errorf("run %s %s: %s", env.ID, env.Status, env.Error)
 	}
 	verdict := "executed on the server"
 	if env.Cached {
@@ -200,6 +229,14 @@ func runRemote(ctx context.Context, baseURL string, req studysvc.Request) error 
 	}
 	fmt.Printf("run %s: %s (server time %dms, round trip %v)\n",
 		env.ID, verdict, env.ElapsedMS, time.Since(start).Round(time.Millisecond))
+
+	if env.Summary == nil {
+		// A filtered run has no summary; the partial report is the
+		// server's whole answer.
+		fmt.Printf("\n%s", env.Report)
+		printStages("pipeline stages (server)", env.Stages)
+		return nil
+	}
 
 	s := env.Summary
 	fmt.Printf("\n--- dataset (§3) ---\n")

@@ -37,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/artefact"
 	"repro/internal/report"
 	"repro/internal/studysvc"
 	"repro/internal/sweep"
@@ -53,6 +54,7 @@ func main() {
 	workers := flag.Int("workers", 0, "pipeline stage workers per study (0 = GOMAXPROCS)")
 	crawl := flag.Int("crawl", 0, "crawler workers per study (0 = study default)")
 	parallel := flag.Int("parallel", 2, "concurrent cells")
+	memoize := flag.Bool("artefact-cache", true, "share artefact values across cells (results are identical either way; defaults off for the crawler-concurrency preset, whose per-cell timings are the measurement)")
 	cellTimeout := flag.Duration("cell-timeout", 10*time.Minute, "per-cell timeout")
 	remote := flag.String("remote", "", "drive a live study service at this base URL")
 	server := flag.Bool("server", false, "with -remote: run the sweep server-side via POST /v1/sweep")
@@ -100,9 +102,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep %s done on the server\n", env.ID)
 		res = env.Result
 	default:
-		// Local cells share generated worlds: a grid varying only
-		// annotation or concurrency axes generates each world once.
-		var backend sweep.Backend = sweep.Local{Worlds: sweep.NewWorldCache(0)}
+		// Local cells share generated worlds and, by default,
+		// artefact values: a grid varying only annotation or
+		// concurrency axes generates each world once, and cells whose
+		// semantic parameters match reuse whole artefact prefixes (a
+		// crawler-concurrency sweep crawls once, not once per cell —
+		// which also makes the later cells' timings memo reads;
+		// -artefact-cache=false restores per-cell execution when the
+		// timing itself is the measurement).
+		// The crawler-concurrency preset measures per-cell timing
+		// across crawl worker counts — an axis the memo keys exclude
+		// on purpose — so sharing would turn every cell after the
+		// first into a ~0ms memo read. Default the memo off for it
+		// unless the flag was set explicitly.
+		memoOn := *memoize
+		if *preset == sweep.PresetConcurrency {
+			explicit := false
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "artefact-cache" {
+					explicit = true
+				}
+			})
+			if !explicit {
+				memoOn = false
+			}
+		}
+		local := sweep.Local{Worlds: sweep.NewWorldCache(0)}
+		if memoOn {
+			local.Memo = artefact.NewStore(0)
+		}
+		var backend sweep.Backend = local
 		mode := "local"
 		if *remote != "" {
 			backend = studysvc.Backend{Client: studysvc.NewClient(*remote, nil)}

@@ -1,0 +1,244 @@
+package artefact
+
+import (
+	"context"
+	"strings"
+	"sync"
+)
+
+// DefaultStoreSize bounds a Store created with no explicit limit.
+const DefaultStoreSize = 256
+
+// Store memoizes node values across evaluations. Entries are keyed by
+// (node name, node key); concurrent evaluations asking for the same
+// entry deduplicate onto one computation (the rest block until it
+// finishes), so two requests for different tables of the same world
+// run the shared prefix of the graph exactly once. The store is
+// LRU-bounded in entries and never memoizes errors — a failed
+// computation is dropped so the next evaluation retries.
+//
+// It also serves as the node-execution ledger: ComputeCounts reports
+// how many times each node actually computed (as opposed to being
+// answered from memo), which is what selectivity and reuse tests
+// assert on.
+type Store struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*entry
+	order   []string // LRU order, most recently used last
+
+	computes map[string]int // node name → actual computations
+	hits     int64
+	evicted  int64
+}
+
+// entry deduplicates one computation: the creator computes, waiters
+// block on done.
+type entry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewStore returns a store holding at most max entries
+// (DefaultStoreSize if max <= 0).
+func NewStore(max int) *Store {
+	if max <= 0 {
+		max = DefaultStoreSize
+	}
+	return &Store{
+		max:      max,
+		entries:  make(map[string]*entry),
+		computes: make(map[string]int),
+	}
+}
+
+// resolve returns the memoized value for (node, key), computing it
+// with fn on first use. memoized reports that the value came from the
+// store rather than this call's fn. An empty key bypasses the store
+// entirely (the node is computed every time, and still ledgered).
+//
+// A waiter that observes the creator's failure retries with its own
+// fn instead of inheriting the error: one evaluation's timeout or
+// cancellation must not poison the evaluations that happened to be
+// waiting on its in-flight nodes. Only the waiter's own cancellation
+// ends its attempt.
+func (s *Store) resolve(ctx context.Context, node, key string, fn func() (any, error)) (val any, memoized bool, err error) {
+	if key == "" {
+		s.mu.Lock()
+		s.computes[node]++
+		s.mu.Unlock()
+		v, err := fn()
+		return v, false, err
+	}
+	id := node + "\x00" + key
+
+	var e *entry
+	for e == nil {
+		s.mu.Lock()
+		cur, ok := s.entries[id]
+		if !ok {
+			e = &entry{done: make(chan struct{})}
+			s.entries[id] = e
+			s.order = append(s.order, id)
+			s.evictLocked()
+			s.computes[node]++
+			s.mu.Unlock()
+			continue
+		}
+		s.touch(id)
+		s.mu.Unlock()
+		select {
+		case <-cur.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if cur.err == nil {
+			s.mu.Lock()
+			s.hits++
+			s.mu.Unlock()
+			return cur.val, true, nil
+		}
+		// The creator failed and already dropped its entry; loop and
+		// compute (or join a newer in-flight attempt) ourselves.
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+	}
+
+	e.val, e.err = fn()
+	if e.err != nil {
+		// Never memoize failure: drop the entry (waiters already hold
+		// the pointer, observe the error, and retry on their own) so
+		// the next attempt recomputes.
+		s.mu.Lock()
+		if cur, ok := s.entries[id]; ok && cur == e {
+			delete(s.entries, id)
+			s.drop(id)
+		}
+		s.mu.Unlock()
+	}
+	close(e.done)
+	return e.val, false, e.err
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// store is within its bound. In-flight entries are never evicted —
+// that would detach future resolvers from a running computation and
+// duplicate its work — so the store may transiently exceed max while
+// computations are in flight. Caller holds s.mu.
+func (s *Store) evictLocked() {
+	for i := 0; i < len(s.order) && len(s.order) > s.max; {
+		id := s.order[i]
+		select {
+		case <-s.entries[id].done:
+			copy(s.order[i:], s.order[i+1:])
+			s.order = s.order[:len(s.order)-1]
+			delete(s.entries, id)
+			s.evicted++
+			// i now indexes the next candidate.
+		default:
+			i++ // in flight: skip
+		}
+	}
+}
+
+// touch moves id to the most-recently-used end of the LRU order.
+func (s *Store) touch(id string) {
+	for i, k := range s.order {
+		if k == id {
+			copy(s.order[i:], s.order[i+1:])
+			s.order[len(s.order)-1] = id
+			return
+		}
+	}
+}
+
+// drop removes id from the LRU order.
+func (s *Store) drop(id string) {
+	for i, k := range s.order {
+		if k == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// Len returns the number of memoized entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// ComputeCount returns how many times the named node actually
+// computed through this store.
+func (s *Store) ComputeCount(node string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.computes[node]
+}
+
+// ComputeCounts returns a copy of the per-node computation ledger.
+func (s *Store) ComputeCounts() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.computes))
+	for k, v := range s.computes {
+		out[k] = v
+	}
+	return out
+}
+
+// TotalComputes returns the total number of node computations across
+// the store's lifetime.
+func (s *Store) TotalComputes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, v := range s.computes {
+		n += v
+	}
+	return n
+}
+
+// StoreStats is a snapshot of the store's counters.
+type StoreStats struct {
+	// Entries is the number of memoized values currently held.
+	Entries int `json:"entries"`
+	// Hits counts resolves answered from an existing entry (including
+	// waits on another evaluation's in-flight computation).
+	Hits int64 `json:"hits"`
+	// Computes counts actual node computations.
+	Computes int64 `json:"computes"`
+	// Evictions counts LRU evictions.
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var computes int64
+	for _, v := range s.computes {
+		computes += int64(v)
+	}
+	return StoreStats{
+		Entries:   len(s.entries),
+		Hits:      s.hits,
+		Computes:  computes,
+		Evictions: s.evicted,
+	}
+}
+
+// Keys returns the memoized entry identities as "node|key" strings,
+// for diagnostics.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, strings.ReplaceAll(id, "\x00", "|"))
+	}
+	return out
+}

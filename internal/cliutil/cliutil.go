@@ -1,0 +1,39 @@
+// Package cliutil holds the small helpers the command-line tools
+// share: remote-study submission (ewpipeline -remote and ewreport
+// -remote route through the same client path) and -only list parsing.
+package cliutil
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/studysvc"
+)
+
+// SplitNames parses a comma-separated -only list into trimmed,
+// non-empty names ("table5, figure2" → ["table5" "figure2"]). An
+// empty string yields nil — no selection, meaning everything.
+func SplitNames(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if name := strings.TrimSpace(part); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// RunRemote submits a study request to a live study service and waits
+// for a completed envelope; a failed or unfinished run is an error.
+func RunRemote(ctx context.Context, baseURL string, req studysvc.Request) (*studysvc.Envelope, error) {
+	c := studysvc.NewClient(baseURL, nil)
+	env, err := c.Run(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if env.Status != studysvc.StatusDone {
+		return nil, fmt.Errorf("run %s %s: %s", env.ID, env.Status, env.Error)
+	}
+	return env, nil
+}

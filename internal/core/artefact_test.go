@@ -1,0 +1,172 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/artefact"
+	"repro/internal/synth"
+)
+
+func artefactTestOptions() Options {
+	return Options{
+		Synth:          synth.Config{Seed: 7, Scale: 0.02, ImageSize: 48},
+		AnnotationSize: 400,
+		Workers:        4,
+	}
+}
+
+// TestComputeSelective pins the selectivity acceptance criterion via
+// the node-execution ledger: computing only Table 5 evaluates exactly
+// the provenance closure — the earnings, actor and exchange nodes are
+// never invoked.
+func TestComputeSelective(t *testing.T) {
+	store := artefact.NewStore(0)
+	s := NewStudy(artefactTestOptions())
+	defer s.Close()
+	s.UseMemo(store)
+
+	res, err := s.Compute(context.Background(), "table5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Provenance.Packs.Total == 0 {
+		t.Fatal("provenance not computed")
+	}
+	// The closure fields ride along...
+	if len(res.EWhoringThreads) == 0 || res.CrawlStats.Tasks == 0 {
+		t.Error("dependency artefacts missing from partial Results")
+	}
+	// ...but nothing outside the closure may have run.
+	for _, name := range []string{ArtefactEarnings, ArtefactActors, ArtefactExchange, ArtefactTable1} {
+		if n := store.ComputeCount(name); n != 0 {
+			t.Errorf("node %s computed %d times for a table5-only request", name, n)
+		}
+	}
+	if res.Earnings.Summary.Proofs != 0 || res.Actors.Profiles != nil {
+		t.Error("partial Results carries artefacts outside the requested closure")
+	}
+	for _, name := range []string{ArtefactSelect, ArtefactClassifier, ArtefactLinks, ArtefactCrawl, ArtefactPhotoDNA, ArtefactNSFV, ArtefactProvenance} {
+		if n := store.ComputeCount(name); n != 1 {
+			t.Errorf("node %s computed %d times, want 1", name, n)
+		}
+	}
+}
+
+// TestComputeMatchesRun pins partial evaluation against the full run:
+// every artefact a selective Compute returns is bit-identical to the
+// same field of a full Run with the same options.
+func TestComputeMatchesRun(t *testing.T) {
+	ctx := context.Background()
+	full, err := NewStudy(artefactTestOptions()).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStudy(artefactTestOptions())
+	defer s.Close()
+	partial, err := s.Compute(ctx, "table5", "figure2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(partial.Provenance, full.Provenance) {
+		t.Error("partial Provenance differs from the full run")
+	}
+	if !reflect.DeepEqual(partial.Earnings, full.Earnings) {
+		t.Error("partial Earnings differs from the full run")
+	}
+	if !reflect.DeepEqual(partial.CrawlStats, full.CrawlStats) {
+		t.Error("partial CrawlStats differs from the full run")
+	}
+	// figure2+table5 needs neither the actor analysis nor Table 1.
+	if partial.Actors.Profiles != nil || partial.Table1 != nil {
+		t.Error("partial Results computed artefacts outside the selection")
+	}
+	if len(s.PipelineStats()) == 0 {
+		t.Error("Compute recorded no node stages")
+	}
+}
+
+// TestMemoSharedAcrossStudies pins cross-study reuse: two studies
+// with the same semantic options sharing one memo store compute every
+// node once, and the second study's Results are bit-identical.
+func TestMemoSharedAcrossStudies(t *testing.T) {
+	ctx := context.Background()
+	store := artefact.NewStore(0)
+
+	s1 := NewStudy(artefactTestOptions())
+	s1.UseMemo(store)
+	want, err := s1.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := store.TotalComputes()
+
+	// Different worker counts must share the memo: worker knobs are
+	// excluded from node keys because they never move a result.
+	opts := artefactTestOptions()
+	opts.Workers = 2
+	opts.CrawlConcurrency = 3
+	s2 := NewStudy(opts)
+	s2.UseMemo(store)
+	got, err := s2.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("memoized run differs from the computing run")
+	}
+	if after := store.TotalComputes(); after != before {
+		t.Errorf("warm run computed %d extra nodes, want 0", after-before)
+	}
+	// The hotline replay must survive memoization: both studies end
+	// with identical report sequences.
+	if !reflect.DeepEqual(s1.Hotline.Reports(), s2.Hotline.Reports()) {
+		t.Error("hotline reports differ between computing and memoized runs")
+	}
+}
+
+// TestComputeIdempotent pins repeat-Compute semantics on one study:
+// the second call is answered entirely from the study's private memo
+// — bit-identical Results, and in particular the same SnowballAdded
+// (the snowball expansion, a side-effecting stage, runs exactly once).
+func TestComputeIdempotent(t *testing.T) {
+	ctx := context.Background()
+	s := NewStudy(artefactTestOptions())
+	defer s.Close()
+	first, err := s.Compute(ctx, "crawl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Compute(ctx, "crawl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("second Compute on the same study differs from the first")
+	}
+	if first.Links.SnowballAdded == 0 || second.Links.SnowballAdded != first.Links.SnowballAdded {
+		t.Errorf("SnowballAdded drifted across Computes: %d then %d",
+			first.Links.SnowballAdded, second.Links.SnowballAdded)
+	}
+}
+
+// TestResolveArtefacts covers alias expansion and rejection.
+func TestResolveArtefacts(t *testing.T) {
+	all, err := ResolveArtefacts()
+	if err != nil || len(all) != len(Artefacts()) {
+		t.Fatalf("empty resolve = %v, %v", all, err)
+	}
+	// Names normalize: mixed case and stray whitespace resolve like
+	// their canonical forms (the CLI -only path feeds raw user input).
+	got, err := ResolveArtefacts("Figure4", " table5 ", "provenance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{ArtefactProvenance, ArtefactActors}) {
+		t.Fatalf("resolve = %v", got)
+	}
+	if _, err := ResolveArtefacts("table99"); err == nil {
+		t.Fatal("unknown artefact accepted")
+	}
+}

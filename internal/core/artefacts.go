@@ -1,0 +1,464 @@
+package core
+
+// The study as an artefact graph. Every named output of the paper —
+// Table 1, the §4.1 classifier, the crawl, Table 5 provenance, the
+// §5/§6 analyses — is one node of a DAG registered here; Run evaluates
+// the whole graph and Compute evaluates a selection, so callers pay
+// only for the artefacts they ask for. Each node's memo key is the
+// projection of the study options onto the parameters that actually
+// determine its value: worker counts and crawl concurrency are
+// deliberately excluded (they change timings, never results — the
+// determinism invariant DESIGN.md §3 pins), so a shared memo store
+// reuses an already-crawled substrate across runs that differ only in
+// those knobs.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/artefact"
+	"repro/internal/crawler"
+	"repro/internal/earnings"
+	"repro/internal/forum"
+	"repro/internal/nsfv"
+	"repro/internal/photodna"
+	"repro/internal/pipeline"
+	"repro/internal/urlx"
+)
+
+// Artefact node names — the study's stable artefact identities.
+const (
+	ArtefactSelect     = "select"     // §3 thread selection
+	ArtefactClassifier = "classifier" // §4.1 TOP classifier
+	ArtefactTable1     = "table1"     // Table 1 forum overview (with TOPs)
+	ArtefactLinks      = "links"      // §4.2 URL extraction (Tables 3/4)
+	ArtefactCrawl      = "crawl"      // §4.2 crawl
+	ArtefactPhotoDNA   = "photodna"   // §4.3 hashlist gate
+	ArtefactNSFV       = "nsfv"       // §4.4 NSFV split
+	ArtefactProvenance = "provenance" // §4.5 reverse search (Tables 5/6)
+	ArtefactEarnings   = "earnings"   // §5 financial analysis (Figures 2/3)
+	ArtefactActors     = "actors"     // §6 actor analysis (Tables 8-10, Figures 4/5)
+	ArtefactExchange   = "exchange"   // §5.3 currency exchange (Table 7)
+)
+
+// Artefacts lists every artefact name in canonical (pipeline) order.
+func Artefacts() []string {
+	return []string{
+		ArtefactSelect, ArtefactClassifier, ArtefactTable1,
+		ArtefactLinks, ArtefactCrawl, ArtefactPhotoDNA, ArtefactNSFV,
+		ArtefactProvenance, ArtefactEarnings, ArtefactActors, ArtefactExchange,
+	}
+}
+
+// artefactAliases maps the paper's table/figure names onto the
+// artefact nodes that produce them, so callers can ask for "table5"
+// and get the provenance subgraph.
+var artefactAliases = map[string]string{
+	"overview": ArtefactTable1,
+	"table1":   ArtefactTable1,
+	"table3":   ArtefactLinks,
+	"table4":   ArtefactLinks,
+	"table5":   ArtefactProvenance,
+	"table6":   ArtefactProvenance,
+	"table7":   ArtefactExchange,
+	"table8":   ArtefactActors,
+	"table9":   ArtefactActors,
+	"table10":  ArtefactActors,
+	"figure2":  ArtefactEarnings,
+	"figure3":  ArtefactEarnings,
+	"figure4":  ArtefactActors,
+	"figure5":  ArtefactActors,
+}
+
+// ResolveArtefacts maps artefact names and table/figure aliases to
+// deduplicated artefact names in canonical order. Names are
+// normalized (trimmed, lowercased) first, so "Table5" from a CLI
+// -only list resolves like "table5". An empty input resolves to
+// every artefact; unknown names are errors.
+func ResolveArtefacts(names ...string) ([]string, error) {
+	all := Artefacts()
+	if len(names) == 0 {
+		return all, nil
+	}
+	valid := make(map[string]bool, len(all))
+	for _, a := range all {
+		valid[a] = true
+	}
+	want := make(map[string]bool, len(names))
+	for _, name := range names {
+		a := strings.ToLower(strings.TrimSpace(name))
+		if alias, ok := artefactAliases[a]; ok {
+			a = alias
+		}
+		if !valid[a] {
+			return nil, fmt.Errorf("core: unknown artefact %q (artefacts: %v)", name, all)
+		}
+		want[a] = true
+	}
+	out := make([]string, 0, len(want))
+	for _, a := range all {
+		if want[a] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// worldKey is the canonical identity of the generated world: the part
+// of the request the §3 selection depends on.
+func (s *Study) worldKey() string {
+	c := s.Opts.Synth.Canonical()
+	return "seed=" + strconv.FormatUint(c.Seed, 10) +
+		"|scale=" + strconv.FormatFloat(c.Scale, 'g', -1, 64) +
+		"|img=" + strconv.Itoa(c.ImageSize) +
+		"|skip=" + strconv.FormatBool(c.SkipImages)
+}
+
+// studyKey extends worldKey with every semantic study option — the
+// parameters that can change any artefact's value. Workers and
+// CrawlConcurrency are excluded on purpose: they size goroutine
+// pools, and the determinism invariant guarantees they never move a
+// result.
+func (s *Study) studyKey() string {
+	return s.worldKey() +
+		"|ann=" + strconv.Itoa(s.Opts.AnnotationSize) +
+		"|train=" + strconv.FormatFloat(s.Opts.TrainFrac, 'g', -1, 64) +
+		"|pack=" + strconv.Itoa(s.Opts.ImagesPerPack)
+}
+
+// Composite node values. Artefact values must be self-contained —
+// downstream nodes read them instead of study state, so a value
+// memoized by one study instance feeds another's evaluation without
+// recomputing anything (the whitelist a snowball run expanded travels
+// with the links value, not on the study).
+type (
+	linksValue struct {
+		links     LinkExtraction
+		whitelist *urlx.Whitelist
+	}
+	crawlValue struct {
+		results []crawler.Result
+		stats   crawler.Stats
+	}
+	photodnaValue struct {
+		safe    []SafeImage
+		summary photodna.ActionSummary
+		reports []photodna.MatchReport
+	}
+	earningsValue struct {
+		res     EarningsResult
+		reports []photodna.MatchReport
+	}
+)
+
+// studyGraph is the artefact DAG over a *Study. Nodes call the same
+// stage methods RunSequential does, in the same per-item order, so a
+// full evaluation is bit-identical to the sequential reference — the
+// equivalence tests and the golden seed-77 report pin it.
+var studyGraph = newStudyGraph()
+
+func newStudyGraph() *artefact.Graph[*Study] {
+	g := artefact.NewGraph[*Study]()
+	worldKey := func(s *Study) string { return s.worldKey() }
+	studyKey := func(s *Study) string { return s.studyKey() }
+
+	g.MustRegister(artefact.Node[*Study]{
+		Name: ArtefactSelect,
+		Key:  worldKey,
+		Compute: func(_ context.Context, s *Study, _ artefact.Deps) (any, error) {
+			return s.SelectEWhoring(), nil
+		},
+	})
+	g.MustRegister(artefact.Node[*Study]{
+		Name: ArtefactClassifier,
+		Deps: []string{ArtefactSelect},
+		Key:  studyKey,
+		Compute: func(_ context.Context, s *Study, d artefact.Deps) (any, error) {
+			return s.TrainAndExtract(artefact.Get[[]forum.ThreadID](d, ArtefactSelect))
+		},
+	})
+	g.MustRegister(artefact.Node[*Study]{
+		Name: ArtefactTable1,
+		Deps: []string{ArtefactSelect, ArtefactClassifier},
+		Key:  studyKey,
+		Compute: func(_ context.Context, s *Study, d artefact.Deps) (any, error) {
+			cls := artefact.Get[ClassifierResult](d, ArtefactClassifier)
+			rows := s.ForumOverview(artefact.Get[[]forum.ThreadID](d, ArtefactSelect))
+			for i := range rows {
+				rows[i].TOPs = cls.TOPsByForum[rows[i].Forum]
+			}
+			return rows, nil
+		},
+	})
+	g.MustRegister(artefact.Node[*Study]{
+		Name: ArtefactLinks,
+		Deps: []string{ArtefactClassifier},
+		Key:  studyKey,
+		Compute: func(ctx context.Context, s *Study, d artefact.Deps) (any, error) {
+			cls := artefact.Get[ClassifierResult](d, ArtefactClassifier)
+			links := s.ExtractLinks(ctx, cls.Extract.TOPs)
+			// The snowball expansion mutated s.Whitelist; snapshot it
+			// into the value so the earnings node (and any study that
+			// receives this value from memo) classifies against the
+			// expanded list, exactly as the sequential order does.
+			return linksValue{links: links, whitelist: s.Whitelist}, nil
+		},
+	})
+	g.MustRegister(artefact.Node[*Study]{
+		Name: ArtefactCrawl,
+		Deps: []string{ArtefactLinks},
+		Key:  studyKey,
+		Compute: func(ctx context.Context, s *Study, d artefact.Deps) (any, error) {
+			lv := artefact.Get[linksValue](d, ArtefactLinks)
+			results := pipeline.Collect(s.backend.CrawlStream(ctx, s.stats, lv.links.Tasks))
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return crawlValue{results: results, stats: crawler.Summarize(results)}, nil
+		},
+	})
+	g.MustRegister(artefact.Node[*Study]{
+		Name: ArtefactPhotoDNA,
+		Deps: []string{ArtefactCrawl},
+		Key:  studyKey,
+		Compute: func(ctx context.Context, s *Study, d artefact.Deps) (any, error) {
+			cv := artefact.Get[crawlValue](d, ArtefactCrawl)
+			// Hash and match under a worker pool; fold reports and the
+			// safe set in task order (Map preserves input order), so
+			// the hotline ends in the sequential state.
+			hotline := photodna.NewHotline()
+			var safe []SafeImage
+			outcomes := pipeline.Map(ctx, s.stats, "photodna §4.3", s.Opts.Workers,
+				pipeline.Emit(ctx, cv.results),
+				func(ctx context.Context, r crawler.Result) matchOutcome { return s.matchResult(ctx, r) })
+			for o := range outcomes {
+				for _, rep := range o.reports {
+					hotline.Report(rep)
+				}
+				safe = append(safe, o.safe...)
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return photodnaValue{safe: safe, summary: hotline.Summarize(), reports: hotline.Reports()}, nil
+		},
+	})
+	g.MustRegister(artefact.Node[*Study]{
+		Name: ArtefactNSFV,
+		Deps: []string{ArtefactPhotoDNA},
+		Key:  studyKey,
+		Compute: func(ctx context.Context, s *Study, d artefact.Deps) (any, error) {
+			pv := artefact.Get[photodnaValue](d, ArtefactPhotoDNA)
+			nres, err := s.classifyNSFVConcurrent(ctx, pv.safe)
+			if err != nil {
+				return nil, err
+			}
+			return nres, nil
+		},
+	})
+	g.MustRegister(artefact.Node[*Study]{
+		Name: ArtefactProvenance,
+		Deps: []string{ArtefactNSFV},
+		Key:  studyKey,
+		Compute: func(ctx context.Context, s *Study, d artefact.Deps) (any, error) {
+			return s.provenanceConcurrent(ctx, artefact.Get[NSFVResult](d, ArtefactNSFV))
+		},
+	})
+	g.MustRegister(artefact.Node[*Study]{
+		Name: ArtefactEarnings,
+		// The §5 analysis classifies links against the post-snowball
+		// whitelist, so it depends on the links artefact even though
+		// it shares no tasks with the image branch — the dependency
+		// that keeps it bit-identical to the sequential order.
+		Deps: []string{ArtefactSelect, ArtefactLinks},
+		Key:  studyKey,
+		Compute: func(ctx context.Context, s *Study, d artefact.Deps) (any, error) {
+			ew := artefact.Get[[]forum.ThreadID](d, ArtefactSelect)
+			lv := artefact.Get[linksValue](d, ArtefactLinks)
+			hotline := photodna.NewHotline()
+			res := s.analyzeEarningsWith(ctx, ew, lv.whitelist, hotline)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return earningsValue{res: res, reports: hotline.Reports()}, nil
+		},
+	})
+	g.MustRegister(artefact.Node[*Study]{
+		Name: ArtefactActors,
+		Deps: []string{ArtefactSelect, ArtefactClassifier, ArtefactEarnings},
+		Key:  studyKey,
+		Compute: func(_ context.Context, s *Study, d artefact.Deps) (any, error) {
+			ew := artefact.Get[[]forum.ThreadID](d, ArtefactSelect)
+			cls := artefact.Get[ClassifierResult](d, ArtefactClassifier)
+			ev := artefact.Get[earningsValue](d, ArtefactEarnings)
+			return s.AnalyzeActors(ew, cls.Extract.TOPs, ev.res.Proofs), nil
+		},
+	})
+	g.MustRegister(artefact.Node[*Study]{
+		Name: ArtefactExchange,
+		Deps: []string{ArtefactActors},
+		Key:  studyKey,
+		Compute: func(_ context.Context, s *Study, d artefact.Deps) (any, error) {
+			return s.ExchangeAnalysis(artefact.Get[ActorAnalysis](d, ArtefactActors).Profiles), nil
+		},
+	})
+	return g
+}
+
+// classifyNSFVConcurrent is ClassifyNSFV under a worker pool: verdicts
+// fan out, the split folds in input order, so the result is identical.
+func (s *Study) classifyNSFVConcurrent(ctx context.Context, safe []SafeImage) (NSFVResult, error) {
+	clf := nsfv.New()
+	classed := pipeline.Map(ctx, s.stats, "nsfv §4.4", s.Opts.Workers,
+		pipeline.Emit(ctx, safe),
+		func(_ context.Context, si SafeImage) nsfvClass {
+			switch {
+			case si.IsPack:
+				return nsfvClass{si, classPack}
+			case clf.IsSFV(si.Image):
+				return nsfvClass{si, classSFV}
+			default:
+				return nsfvClass{si, classPreview}
+			}
+		})
+	var out NSFVResult
+	for c := range classed {
+		switch c.class {
+		case classPack:
+			out.PackImages = append(out.PackImages, c.si)
+		case classSFV:
+			out.SFV = append(out.SFV, c.si)
+		default:
+			out.Previews = append(out.Previews, c.si)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return NSFVResult{}, err
+	}
+	return out, nil
+}
+
+// provenanceConcurrent is Provenance under a worker pool: the
+// reverse searches fan out, the fold consumes outcomes in the
+// sequential order (sampled pack images first, previews second).
+func (s *Study) provenanceConcurrent(ctx context.Context, n NSFVResult) (ProvenanceResult, error) {
+	var items []provItem
+	for _, si := range samplePackImages(n.PackImages, s.Opts.ImagesPerPack) {
+		items = append(items, provItem{si, true})
+	}
+	for _, si := range n.Previews {
+		items = append(items, provItem{si, false})
+	}
+	searched := pipeline.Map(ctx, s.stats, "reverse §4.5", s.Opts.Workers,
+		pipeline.Emit(ctx, items),
+		func(ctx context.Context, it provItem) provSearched {
+			return provSearched{it.pack, s.searchImage(ctx, it.si)}
+		})
+	fold := newProvFold()
+	for o := range searched {
+		if o.pack {
+			fold.addPack(o.out)
+		} else {
+			fold.addPreview(o.out)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return ProvenanceResult{}, err
+	}
+	return fold.finish(s), nil
+}
+
+// UseMemo attaches a shared artefact memo store: node values memoize
+// into it under their canonical keys, so later runs — this study's or
+// another study's with overlapping semantics — reuse them instead of
+// recomputing. Must be set before the first Run or Compute; without
+// it the study memoizes into a private store, so reuse stops at the
+// study boundary.
+//
+// A study that receives memoized values never executes the
+// corresponding stage methods, so side effects those methods leave on
+// the study (the trained Hybrid, the snowball-expanded Whitelist) may
+// be absent — everything downstream nodes need travels inside the
+// values themselves. Mixing graph evaluation with direct stage-method
+// calls on the same study is not supported.
+func (s *Study) UseMemo(store *artefact.Store) {
+	s.memo = store
+}
+
+// Compute evaluates only the named artefacts (plus their transitive
+// dependencies) and returns a partial Results holding every field the
+// evaluation produced. Names may be artefact names or table/figure
+// aliases ("table5", "figure2"); an empty list computes everything.
+// Unlike Run, Compute does not release the study's backend — call
+// Close when done — so a study can serve any number of selective
+// computations; repeated calls are idempotent and answered from the
+// study's memo (private, or the shared store given to UseMemo).
+func (s *Study) Compute(ctx context.Context, names ...string) (*Results, error) {
+	arts, err := ResolveArtefacts(names...)
+	if err != nil {
+		return nil, err
+	}
+	s.stats = pipeline.NewStats()
+	vals, err := s.evaluate(ctx, arts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Results{}
+	fillResults(res, vals)
+	return res, nil
+}
+
+// evaluate runs the artefact graph over this study, recording one
+// stage per resolved node into the study's pipeline stats. Values
+// land in the shared memo store when one is attached, otherwise in
+// the study's private store — either way evaluation is idempotent:
+// a node computes at most once per semantic key, however many times
+// Run or Compute ask for it.
+func (s *Study) evaluate(ctx context.Context, arts []string) (map[string]any, error) {
+	st := s.stats
+	opts := artefact.EvalOptions{Observe: func(ev artefact.Event) {
+		busy := ev.Wall
+		if ev.Memoized {
+			busy = 0 // the value came from memo; nothing was computed
+		}
+		st.Record("node "+ev.Node, 1, 1, 1, ev.Wall, busy)
+	}}
+	store := s.memo
+	if store == nil {
+		store = s.localMemo
+	}
+	return studyGraph.Evaluate(ctx, s, store, opts, arts...)
+}
+
+// fillResults copies evaluated artefact values into their Results
+// fields. Only evaluated artefacts are filled; the rest stay zero.
+func fillResults(res *Results, vals map[string]any) {
+	for name, v := range vals {
+		switch name {
+		case ArtefactSelect:
+			res.EWhoringThreads = v.([]forum.ThreadID)
+		case ArtefactClassifier:
+			res.Classifier = v.(ClassifierResult)
+		case ArtefactTable1:
+			res.Table1 = v.([]ForumOverviewRow)
+		case ArtefactLinks:
+			res.Links = v.(linksValue).links
+		case ArtefactCrawl:
+			res.CrawlStats = v.(crawlValue).stats
+		case ArtefactPhotoDNA:
+			res.PhotoDNA = v.(photodnaValue).summary
+		case ArtefactNSFV:
+			res.NSFV = v.(NSFVResult)
+		case ArtefactProvenance:
+			res.Provenance = v.(ProvenanceResult)
+		case ArtefactEarnings:
+			res.Earnings = v.(earningsValue).res
+		case ArtefactActors:
+			res.Actors = v.(ActorAnalysis)
+		case ArtefactExchange:
+			res.Table7 = v.(earnings.ExchangeTable)
+		}
+	}
+}

@@ -2,73 +2,41 @@ package core
 
 import (
 	"context"
-	"sync"
 
-	"repro/internal/crawler"
-	"repro/internal/nsfv"
-	"repro/internal/photodna"
 	"repro/internal/pipeline"
 )
 
-// Run executes the complete study on the concurrent stage engine:
-// crawl results stream through the PhotoDNA gate, NSFV classification
-// and reverse-image search as they arrive, while the independent §5/§6
-// analyses run on a parallel branch. Results are identical to
-// RunSequential for the same Options — every concurrent stage fans in
-// back to the sequential order before folding — and per-stage metrics
-// are available from PipelineStats afterwards.
+// Run executes the complete study by evaluating the full artefact
+// graph: independent nodes (the §4.2-§4.5 image chain and the §5/§6
+// financial/actor branch) run concurrently, the heavy nodes fan their
+// work across worker pools internally, and every fold consumes its
+// items in the sequential order — so Results are identical to
+// RunSequential for the same Options, which the equivalence tests
+// pin. Per-node and per-stage metrics are available from
+// PipelineStats afterwards.
+//
+// When a memo store is attached (UseMemo), node values are reused
+// from — and published to — it under their canonical keys.
 func (s *Study) Run(ctx context.Context) (*Results, error) {
 	defer s.Close()
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	st := pipeline.NewStats()
-	s.stats = st
-	res := &Results{}
+	s.stats = pipeline.NewStats()
 
-	st.Time("select §3", func() {
-		res.EWhoringThreads = s.SelectEWhoring()
-		res.Table1 = s.ForumOverview(res.EWhoringThreads)
-	})
-	var cls ClassifierResult
-	var err error
-	st.Time("classifier §4.1", func() { cls, err = s.TrainAndExtract(res.EWhoringThreads) })
+	vals, err := s.evaluate(ctx, Artefacts())
 	if err != nil {
 		return nil, err
 	}
-	res.Classifier = cls
-	for i := range res.Table1 {
-		res.Table1[i].TOPs = cls.TOPsByForum[res.Table1[i].Forum]
-	}
-	st.Time("extract urls §4.2", func() { res.Links = s.ExtractLinks(ctx, cls.Extract.TOPs) })
-
-	// The image branch (§4.2–§4.5) and the financial/actor branch
-	// (§5–§6) share no data, so they run in parallel. Each files
-	// PhotoDNA matches to its own hotline: the §4.3 summary must not
-	// depend on how the scheduler interleaves the branches.
-	imageHotline := photodna.NewHotline()
-	earnHotline := photodna.NewHotline()
-	var g pipeline.Group
-	g.Go(func() { s.runImageBranch(ctx, st, res, imageHotline) })
-	g.Go(func() {
-		st.Time("earnings §5", func() {
-			res.Earnings = s.analyzeEarningsWith(ctx, res.EWhoringThreads, earnHotline)
-		})
-		st.Time("actors §6", func() {
-			res.Actors = s.AnalyzeActors(res.EWhoringThreads, cls.Extract.TOPs, res.Earnings.Proofs)
-		})
-		st.Time("exchange §5.3", func() {
-			res.Table7 = s.ExchangeAnalysis(res.Actors.Profiles)
-		})
-	})
-	g.Wait()
+	res := &Results{}
+	fillResults(res, vals)
 
 	// Replay the branch hotlines into the study hotline in the order
 	// the sequential path files reports: main crawl first, earnings
 	// crawl second.
-	for _, r := range imageHotline.Reports() {
+	for _, r := range vals[ArtefactPhotoDNA].(photodnaValue).reports {
 		s.Hotline.Report(r)
 	}
-	for _, r := range earnHotline.Reports() {
+	for _, r := range vals[ArtefactEarnings].(earningsValue).reports {
 		s.Hotline.Report(r)
 	}
 	if err := ctx.Err(); err != nil {
@@ -90,9 +58,8 @@ const (
 	classPreview
 )
 
-// provItem is one image headed for reverse search: a preview (streamed
-// as classified) or a sampled pack image (emitted after the pack
-// corpus is complete).
+// provItem is one image headed for reverse search: a sampled pack
+// image or a preview.
 type provItem struct {
 	si   SafeImage
 	pack bool
@@ -102,88 +69,4 @@ type provItem struct {
 type provSearched struct {
 	pack bool
 	out  searchOutcome
-}
-
-// runImageBranch streams the Figure 1 image pipeline: crawl → PhotoDNA
-// gate → NSFV classification → reverse search → provenance fold. Fan-in
-// stages run in task order, so the fold sees exactly the sequence the
-// sequential path produces.
-func (s *Study) runImageBranch(ctx context.Context, st *pipeline.Stats, res *Results, hotline *photodna.Hotline) {
-	crawled := s.backend.CrawlStream(ctx, st, res.Links.Tasks)
-	arms := pipeline.Tee(ctx, crawled, 2)
-
-	// Crawl statistics fold on their own arm so the filter stage does
-	// not wait for the dedup hashing.
-	var statsWG sync.WaitGroup
-	statsWG.Add(1)
-	go func() {
-		defer statsWG.Done()
-		res.CrawlStats = crawler.Summarize(pipeline.Collect(arms[0]))
-	}()
-
-	// workers <= 0 resolves to GOMAXPROCS inside the engine.
-	workers := s.Opts.Workers
-	matched := pipeline.Map(ctx, st, "photodna §4.3", workers, arms[1],
-		func(ctx context.Context, r crawler.Result) matchOutcome { return s.matchResult(ctx, r) })
-	safeCh := pipeline.Process(ctx, st, "hotline fan-in", matched,
-		func(o matchOutcome, emit func(SafeImage)) {
-			for _, rep := range o.reports {
-				hotline.Report(rep)
-			}
-			for _, si := range o.safe {
-				emit(si)
-			}
-		}, nil)
-
-	clf := nsfv.New()
-	classed := pipeline.Map(ctx, st, "nsfv §4.4", workers, safeCh,
-		func(_ context.Context, si SafeImage) nsfvClass {
-			switch {
-			case si.IsPack:
-				return nsfvClass{si, classPack}
-			case clf.IsSFV(si.Image):
-				return nsfvClass{si, classSFV}
-			default:
-				return nsfvClass{si, classPreview}
-			}
-		})
-
-	// Previews go straight to reverse search; pack images buffer until
-	// the corpus is complete, then the per-pack sample is emitted.
-	var nres NSFVResult
-	provIn := pipeline.Process(ctx, st, "pack sampling", classed,
-		func(c nsfvClass, emit func(provItem)) {
-			switch c.class {
-			case classPack:
-				nres.PackImages = append(nres.PackImages, c.si)
-			case classSFV:
-				nres.SFV = append(nres.SFV, c.si)
-			default:
-				nres.Previews = append(nres.Previews, c.si)
-				emit(provItem{c.si, false})
-			}
-		},
-		func(emit func(provItem)) {
-			for _, si := range samplePackImages(nres.PackImages, s.Opts.ImagesPerPack) {
-				emit(provItem{si, true})
-			}
-		})
-
-	searched := pipeline.Map(ctx, st, "reverse §4.5", workers, provIn,
-		func(ctx context.Context, it provItem) provSearched {
-			return provSearched{it.pack, s.searchImage(ctx, it.si)}
-		})
-
-	fold := newProvFold()
-	for o := range searched {
-		if o.pack {
-			fold.addPack(o.out)
-		} else {
-			fold.addPreview(o.out)
-		}
-	}
-	statsWG.Wait()
-	res.PhotoDNA = hotline.Summarize()
-	res.NSFV = nres
-	res.Provenance = fold.finish(s)
 }

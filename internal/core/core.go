@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/actors"
+	"repro/internal/artefact"
 	"repro/internal/crawler"
 	"repro/internal/domaincls"
 	"repro/internal/earnings"
@@ -84,7 +85,16 @@ type Study struct {
 	// in-process world; UseBackend swaps in an HTTP backend.
 	backend Backend
 
-	// stats holds the stage metrics of the most recent concurrent Run.
+	// memo, when set via UseMemo, shares artefact values across runs
+	// and studies under their canonical node keys; otherwise the
+	// study memoizes privately into localMemo, so repeated Compute
+	// calls on one study are idempotent (the snowball expansion and
+	// every other node run at most once per semantic key).
+	memo      *artefact.Store
+	localMemo *artefact.Store
+
+	// stats holds the stage metrics of the most recent concurrent Run
+	// or Compute.
 	stats *pipeline.Stats
 }
 
@@ -126,6 +136,7 @@ func NewStudyWithWorld(opts Options, world *synth.World) *Study {
 		World:     world,
 		Whitelist: urlx.DefaultWhitelist(),
 		Hotline:   photodna.NewHotline(),
+		localMemo: artefact.NewStore(0),
 	}
 	s.backend = &worldBackend{study: s}
 	return s
@@ -163,8 +174,9 @@ func (s *Study) hostingServer() *httptest.Server {
 	return s.server
 }
 
-// PipelineStats returns the per-stage metrics of the most recent
-// concurrent Run (nil before the first Run, or after RunSequential).
+// PipelineStats returns the per-stage and per-node metrics of the
+// most recent concurrent Run or Compute (nil before the first, or
+// after RunSequential).
 func (s *Study) PipelineStats() []pipeline.StageSnapshot {
 	return s.stats.Snapshot()
 }
@@ -699,13 +711,16 @@ type EarningsResult struct {
 // PhotoDNA and NSFV, OCR-annotate the survivors into structured
 // proofs, and aggregate.
 func (s *Study) AnalyzeEarnings(ctx context.Context, ew []forum.ThreadID) EarningsResult {
-	return s.analyzeEarningsWith(ctx, ew, s.Hotline)
+	return s.analyzeEarningsWith(ctx, ew, s.Whitelist, s.Hotline)
 }
 
-// analyzeEarningsWith is AnalyzeEarnings reporting PhotoDNA matches to
-// an explicit hotline, so the concurrent Run's earnings branch does
-// not perturb the image branch's §4.3 summary.
-func (s *Study) analyzeEarningsWith(ctx context.Context, ew []forum.ThreadID, hotline *photodna.Hotline) EarningsResult {
+// analyzeEarningsWith is AnalyzeEarnings classifying links against an
+// explicit whitelist and reporting PhotoDNA matches to an explicit
+// hotline. The earnings artefact node passes the snowball-expanded
+// whitelist snapshotted in the links value — the state the sequential
+// order leaves on the study — and its own hotline, so the §4.3
+// summary stays independent of evaluation interleaving.
+func (s *Study) analyzeEarningsWith(ctx context.Context, ew []forum.ThreadID, whitelist *urlx.Whitelist, hotline *photodna.Hotline) EarningsResult {
 	store := s.World.Store
 	var res EarningsResult
 
@@ -727,7 +742,7 @@ func (s *Study) analyzeEarningsWith(ctx context.Context, ew []forum.ThreadID, ho
 	for _, tid := range selected.Sorted() {
 		for _, p := range store.PostsInThread(tid) {
 			for _, u := range urlx.Extract(p.Body) {
-				link := s.Whitelist.Classify(u)
+				link := whitelist.Classify(u)
 				if link.Kind != urlx.KindImageSharing {
 					continue
 				}

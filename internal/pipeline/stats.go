@@ -32,6 +32,23 @@ func (s *Stats) Stage(name string, workers int) *StageStats {
 	return st
 }
 
+// Record appends an already-completed stage's counters — for engines
+// that time work themselves (the artefact graph's per-node timings)
+// rather than streaming items through a stage.
+func (s *Stats) Record(name string, workers int, in, out int64, wall, busy time.Duration) {
+	if s == nil {
+		return
+	}
+	st := &StageStats{name: name, workers: workers, started: time.Now().Add(-wall)}
+	st.in.Store(in)
+	st.out.Store(out)
+	st.busy.Store(int64(busy))
+	st.wall.Store(int64(wall))
+	s.mu.Lock()
+	s.stages = append(s.stages, st)
+	s.mu.Unlock()
+}
+
 // Time runs fn as a single-worker stage, recording its wall time as
 // both wall and busy time with one item in and out.
 func (s *Stats) Time(name string, fn func()) {

@@ -374,50 +374,124 @@ func Figure5(fig map[actors.InterestPhase]actors.InterestProfile) string {
 		table([]string{"Category", "Before", "During", "After"}, rows)
 }
 
-// Full renders every table and figure of a study run.
-func Full(res *core.Results) string {
+// Section is one renderable unit of the study report: a named table
+// or figure, the core artefact whose evaluation fills the Results
+// fields it reads, and its renderer. The section list is the bridge
+// between report selection ("print table5 and figure2") and artefact
+// computation (core.Study.Compute("provenance", "earnings")).
+type Section struct {
+	// Name is the section's stable identity ("table5", "figure2", ...).
+	Name string
+	// Artefact is the core artefact node whose evaluation produces
+	// everything Render reads (dependency artefacts ride along in a
+	// partial Results, so one name per section suffices).
+	Artefact string
+	// Render renders the section from a Results holding its artefact.
+	Render func(*core.Results) string
+}
+
+// Sections lists every report section in the paper's layout order.
+func Sections() []Section {
+	return []Section{
+		{"table1", core.ArtefactTable1, func(r *core.Results) string { return Table1(r.Table1) }},
+		{"classifier", core.ArtefactClassifier, func(r *core.Results) string { return Classifier(r.Classifier) }},
+		{"table3", core.ArtefactLinks, func(r *core.Results) string {
+			return LinkTable("Table 3: links per image-sharing site", r.Links.ImageSharing)
+		}},
+		{"table4", core.ArtefactLinks, func(r *core.Results) string {
+			return LinkTable("Table 4: links per cloud-storage service", r.Links.CloudStorage)
+		}},
+		{"crawl", core.ArtefactCrawl, Crawl},
+		{"photodna", core.ArtefactPhotoDNA, PhotoDNA},
+		{"nsfv", core.ArtefactNSFV, NSFV},
+		{"table5", core.ArtefactProvenance, func(r *core.Results) string { return Table5(r.Provenance) }},
+		{"table6", core.ArtefactProvenance, Table6},
+		{"earnings", core.ArtefactEarnings, func(r *core.Results) string { return EarningsSummary(r.Earnings) }},
+		{"figure2", core.ArtefactEarnings, func(r *core.Results) string { return Figure2(r.Earnings) }},
+		{"figure3", core.ArtefactEarnings, func(r *core.Results) string { return Figure3(r.Earnings) }},
+		{"table7", core.ArtefactExchange, func(r *core.Results) string { return Table7(r.Table7) }},
+		{"table8", core.ArtefactActors, func(r *core.Results) string { return Table8(r.Actors.Table8) }},
+		{"figure4", core.ArtefactActors, func(r *core.Results) string { return Figure4(r.Actors.Fig4) }},
+		{"table9", core.ArtefactActors, func(r *core.Results) string { return Table9(r.Actors.Table9) }},
+		{"table10", core.ArtefactActors, func(r *core.Results) string { return Table10(r.Actors.Table10) }},
+		{"figure5", core.ArtefactActors, func(r *core.Results) string { return Figure5(r.Actors.Fig5) }},
+	}
+}
+
+// Resolve maps requested names to the sections to render (in layout
+// order) and the core artefacts to compute. A name may be a section
+// name (selecting that section), or a core artefact name / alias
+// (selecting every section that artefact produces — "actors" selects
+// Tables 8-10 and Figures 4-5). Section names win when a name is
+// both. An empty input selects everything; unknown names are errors.
+func Resolve(names ...string) (sections []Section, artefacts []string, err error) {
+	all := Sections()
+	if len(names) == 0 {
+		arts, err := core.ResolveArtefacts()
+		return all, arts, err
+	}
+	byName := make(map[string]int, len(all))
+	for i, sec := range all {
+		byName[sec.Name] = i
+	}
+	selected := make(map[int]bool)
+	var artNames []string
+	for _, raw := range names {
+		name := strings.ToLower(strings.TrimSpace(raw))
+		if i, ok := byName[name]; ok {
+			selected[i] = true
+			artNames = append(artNames, all[i].Artefact)
+			continue
+		}
+		arts, err := core.ResolveArtefacts(name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("report: unknown section or artefact %q", raw)
+		}
+		// An artefact name selects every section it produces.
+		for _, a := range arts {
+			artNames = append(artNames, a)
+			for i, sec := range all {
+				if sec.Artefact == a {
+					selected[i] = true
+				}
+			}
+		}
+	}
+	for i, sec := range all {
+		if selected[i] {
+			sections = append(sections, sec)
+		}
+	}
+	artefacts, err = core.ResolveArtefacts(artNames...)
+	return sections, artefacts, err
+}
+
+// join renders sections in order, separated by blank lines — the
+// layout Full has always used.
+func join(res *core.Results, sections []Section) string {
 	var sb strings.Builder
-	sb.WriteString(Table1(res.Table1))
-	sb.WriteByte('\n')
-	sb.WriteString(Classifier(res.Classifier))
-	sb.WriteByte('\n')
-	sb.WriteString(LinkTable("Table 3: links per image-sharing site", res.Links.ImageSharing))
-	sb.WriteByte('\n')
-	sb.WriteString(LinkTable("Table 4: links per cloud-storage service", res.Links.CloudStorage))
-	sb.WriteByte('\n')
-	sb.WriteString(Crawl(res))
-	sb.WriteByte('\n')
-	sb.WriteString(PhotoDNA(res))
-	sb.WriteByte('\n')
-	sb.WriteString(NSFV(res))
-	sb.WriteByte('\n')
-	sb.WriteString(Table5(res.Provenance))
-	sb.WriteByte('\n')
-	sb.WriteString(Table6(res))
-	sb.WriteByte('\n')
-	sb.WriteString(EarningsSummary(res.Earnings))
-	sb.WriteByte('\n')
-	sb.WriteString(Figure2(res.Earnings))
-	sb.WriteByte('\n')
-	sb.WriteString(Figure3(res.Earnings))
-	sb.WriteByte('\n')
-	sb.WriteString(Table7(res.Table7))
-	sb.WriteByte('\n')
-	sb.WriteString(Table8(res.Actors.Table8))
-	sb.WriteByte('\n')
-	sb.WriteString(Figure4(res.Actors.Fig4))
-	sb.WriteByte('\n')
-	sb.WriteString(Table9(res.Actors.Table9))
-	sb.WriteByte('\n')
-	sb.WriteString(Table10(res.Actors.Table10))
-	sb.WriteByte('\n')
-	sb.WriteString(Figure5(res.Actors.Fig5))
+	for i, sec := range sections {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(sec.Render(res))
+	}
 	return sb.String()
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
+// Render renders the named sections (see Resolve for what names are
+// accepted) from a Results holding their artefacts — the partial-
+// report face of Full: a Results from core.Study.Compute prints
+// exactly the sections its artefacts support.
+func Render(res *core.Results, names ...string) (string, error) {
+	sections, _, err := Resolve(names...)
+	if err != nil {
+		return "", err
 	}
-	return b
+	return join(res, sections), nil
+}
+
+// Full renders every table and figure of a study run.
+func Full(res *core.Results) string {
+	return join(res, Sections())
 }

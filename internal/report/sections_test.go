@@ -1,0 +1,92 @@
+package report
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSectionsCoverFull pins Full as the concatenation of every
+// section: no renderer may exist outside the section table.
+func TestSectionsCoverFull(t *testing.T) {
+	r := res(t)
+	var sb strings.Builder
+	for i, sec := range Sections() {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(sec.Render(r))
+	}
+	if sb.String() != Full(r) {
+		t.Fatal("Full is not the join of Sections")
+	}
+}
+
+// TestRenderPartial renders a selection and checks that only the
+// requested sections appear.
+func TestRenderPartial(t *testing.T) {
+	out, err := Render(res(t), "table5", "figure2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 5", "Figure 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("partial report missing %q", want)
+		}
+	}
+	for _, not := range []string{"Table 1", "Table 6", "Earnings (§5)", "Figure 3", "Table 8"} {
+		if strings.Contains(out, not) {
+			t.Errorf("partial report leaked %q", not)
+		}
+	}
+}
+
+// TestResolveSelection covers the three name forms: section names,
+// artefact names (expanding to all their sections) and aliases.
+func TestResolveSelection(t *testing.T) {
+	secs, arts, err := Resolve("table5", "figure2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sectionNames(secs); !reflect.DeepEqual(got, []string{"table5", "figure2"}) {
+		t.Fatalf("sections = %v", got)
+	}
+	if !reflect.DeepEqual(arts, []string{core.ArtefactProvenance, core.ArtefactEarnings}) {
+		t.Fatalf("artefacts = %v", arts)
+	}
+
+	// An artefact name selects every section it produces.
+	secs, arts, err = Resolve("actors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sectionNames(secs); !reflect.DeepEqual(got, []string{"table8", "figure4", "table9", "table10", "figure5"}) {
+		t.Fatalf("actors sections = %v", got)
+	}
+	if !reflect.DeepEqual(arts, []string{core.ArtefactActors}) {
+		t.Fatalf("actors artefacts = %v", arts)
+	}
+
+	// Empty input selects everything.
+	secs, arts, err = Resolve()
+	if err != nil || len(secs) != len(Sections()) || len(arts) != len(core.Artefacts()) {
+		t.Fatalf("empty resolve: %d sections, %d artefacts, %v", len(secs), len(arts), err)
+	}
+
+	if _, _, err := Resolve("table99"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if _, err := Render(res(t), "nope"); err == nil {
+		t.Fatal("Render accepted an unknown name")
+	}
+}
+
+func sectionNames(secs []Section) []string {
+	out := make([]string, len(secs))
+	for i, s := range secs {
+		out[i] = s.Name
+	}
+	return out
+}

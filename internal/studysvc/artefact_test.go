@@ -1,0 +1,178 @@
+package studysvc
+
+import (
+	"context"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestArtefactFilterRuns a partial study through POST /v1/study: the
+// response carries only the requested sections, no summary, and the
+// service never invokes the artefact nodes outside the selection.
+func TestArtefactFilterRuns(t *testing.T) {
+	svc, c := newTestService(t, Config{})
+	ctx := context.Background()
+
+	req := tinyRequest(3)
+	req.Artefacts = []string{"table5", "figure2"}
+	env, err := c.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Status != StatusDone {
+		t.Fatalf("status %s: %s", env.Status, env.Error)
+	}
+	if env.Summary != nil {
+		t.Error("partial run carries a summary built from incomplete Results")
+	}
+	for _, want := range []string{"Table 5", "Figure 2"} {
+		if !strings.Contains(env.Report, want) {
+			t.Errorf("partial report missing %q", want)
+		}
+	}
+	for _, not := range []string{"Table 1", "Table 8", "Figure 5"} {
+		if strings.Contains(env.Report, not) {
+			t.Errorf("partial report leaked %q", not)
+		}
+	}
+	// The node ledger proves selectivity server-side.
+	for _, name := range []string{core.ArtefactActors, core.ArtefactExchange, core.ArtefactTable1} {
+		if n := svc.memo.ComputeCount(name); n != 0 {
+			t.Errorf("node %s computed %d times for a table5+figure2 request", name, n)
+		}
+	}
+
+	// The listing reflects the partially-computed entry: its options
+	// carry the canonical artefact filter.
+	list, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range list.Runs {
+		if r.ID == env.ID {
+			found = true
+			if !reflect.DeepEqual(r.Options.Artefacts, []string{"figure2", "table5"}) {
+				t.Errorf("listed artefacts = %v", r.Options.Artefacts)
+			}
+		}
+	}
+	if !found {
+		t.Error("partial run missing from GET /v1/study listing")
+	}
+
+	// A full request for the same world shares the computed prefix:
+	// the crawl and provenance nodes must not run again.
+	crawls := svc.memo.ComputeCount(core.ArtefactCrawl)
+	full, err := c.Run(ctx, tinyRequest(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Cached {
+		t.Error("full run with a different artefact filter shared the run cache entry")
+	}
+	if full.Summary == nil {
+		t.Error("full run lost its summary")
+	}
+	if n := svc.memo.ComputeCount(core.ArtefactCrawl); n != crawls {
+		t.Errorf("full run re-crawled (%d → %d computes) despite the warm memo", crawls, n)
+	}
+}
+
+// TestArtefactEndpoint fetches single artefacts of a completed run.
+func TestArtefactEndpoint(t *testing.T) {
+	_, c := newTestService(t, Config{})
+	ctx := context.Background()
+
+	env, err := c.Run(ctx, tinyRequest(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := c.Artefact(ctx, env.ID, "table5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(art.Report, "Table 5") || strings.Contains(art.Report, "Table 6") {
+		t.Errorf("table5 artefact rendered wrong sections:\n%s", art.Report)
+	}
+	// An artefact name expands to every section it produces.
+	art, err = c.Artefact(ctx, env.ID, "actors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 8", "Figure 4", "Table 9", "Table 10", "Figure 5"} {
+		if !strings.Contains(art.Report, want) {
+			t.Errorf("actors artefact missing %q", want)
+		}
+	}
+	// The served section is byte-identical to the full report's.
+	if !strings.Contains(env.Report, art.Report) {
+		t.Error("artefact sections diverge from the full report")
+	}
+}
+
+// TestArtefactErrorPaths pins the service's artefact error contract:
+// unknown artefact name → 400 (in both the endpoint and the request
+// filter), unknown or evicted study id → 404, and an artefact a
+// partial run did not compute → 404.
+func TestArtefactErrorPaths(t *testing.T) {
+	_, c := newTestService(t, Config{CacheSize: 1})
+	ctx := context.Background()
+
+	env, err := c.Run(ctx, tinyRequest(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := c.HTTP.Get(c.BaseURL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Unknown artefact name → 400, even for a live id.
+	if got := status("/v1/study/" + env.ID + "/artefact/table99"); got != http.StatusBadRequest {
+		t.Errorf("unknown artefact name: status %d, want 400", got)
+	}
+	// Unknown id → 404.
+	if got := status("/v1/study/s-9999/artefact/table5"); got != http.StatusNotFound {
+		t.Errorf("unknown id: status %d, want 404", got)
+	}
+	// POSTing an unknown artefact filter → 400.
+	bad := tinyRequest(7)
+	bad.Artefacts = []string{"table99"}
+	if _, err := c.Run(ctx, bad); err == nil || !strings.Contains(err.Error(), "status 400") {
+		t.Errorf("unknown artefact filter: err = %v, want status 400", err)
+	}
+
+	// Evict env by running a different world through the 1-slot cache,
+	// then fetch an artefact of the evicted id → 404.
+	if _, err := c.Run(ctx, tinyRequest(9)); err != nil {
+		t.Fatal(err)
+	}
+	if got := status("/v1/study/" + env.ID + "/artefact/table5"); got != http.StatusNotFound {
+		t.Errorf("evicted id: status %d, want 404", got)
+	}
+
+	// A partial run 404s on artefacts outside its filter.
+	partial := tinyRequest(9)
+	partial.Artefacts = []string{"table1"}
+	penv, err := c.Run(ctx, partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := status("/v1/study/" + penv.ID + "/artefact/table1"); got != http.StatusOK {
+		t.Errorf("computed artefact of a partial run: status %d, want 200", got)
+	}
+	if got := status("/v1/study/" + penv.ID + "/artefact/table5"); got != http.StatusNotFound {
+		t.Errorf("uncomputed artefact of a partial run: status %d, want 404", got)
+	}
+}

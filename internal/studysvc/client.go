@@ -62,6 +62,30 @@ func (c *Client) Get(ctx context.Context, id string) (*Envelope, error) {
 	return c.do(req)
 }
 
+// Artefact fetches one named artefact of a completed run — the
+// rendered section(s) for a table/figure name ("table5") or an
+// artefact name ("actors").
+func (c *Client) Artefact(ctx context.Context, id, name string) (*ArtefactEnvelope, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/study/"+url.PathEscape(id)+"/artefact/"+url.PathEscape(name), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var env ArtefactEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return nil, fmt.Errorf("studysvc: bad artefact response: %w", err)
+	}
+	return &env, nil
+}
+
 // Stats fetches the service counters.
 func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,

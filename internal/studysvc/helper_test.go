@@ -15,7 +15,11 @@ import (
 // the reference the service's output is pinned to.
 func directReport(t *testing.T, r Request) string {
 	t.Helper()
-	study := core.NewStudy(canonicalize(r).coreOptions())
+	c, err := canonicalize(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	study := core.NewStudy(c.coreOptions())
 	res, err := study.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)

@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/artefact"
 	"repro/internal/core"
 	"repro/internal/pipeline"
 	"repro/internal/report"
@@ -68,6 +69,16 @@ type Config struct {
 	// object the service holds, so the bound trades regeneration time
 	// against steady-state memory.
 	WorldCacheSize int
+	// MemoSize bounds the shared artefact memo store in entries
+	// (default 33 ≈ three worlds' node sets; negative disables
+	// sharing). Every run — full or filtered — evaluates through this
+	// store, so two clients asking for different tables of the same
+	// world run the shared prefix of the artefact graph once, and
+	// runs differing only in worker knobs recompute nothing. Entries
+	// hold real artefact values — the crawl node's value is the whole
+	// downloaded corpus — so this bound, like WorldCacheSize, trades
+	// recomputation against steady-state memory.
+	MemoSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +100,9 @@ func (c Config) withDefaults() Config {
 	if c.WorldCacheSize == 0 {
 		c.WorldCacheSize = 2
 	}
+	if c.MemoSize == 0 {
+		c.MemoSize = 33
+	}
 	return c
 }
 
@@ -100,23 +114,32 @@ type Request struct {
 	AnnotationSize   int     `json:"annotation_size"`
 	Workers          int     `json:"workers"`
 	CrawlConcurrency int     `json:"crawl_concurrency"`
+	// Artefacts, when non-empty, restricts the run to the named
+	// artefacts (section names like "table5"/"figure2" or artefact
+	// names like "provenance"/"actors"): only their subgraph
+	// executes, and the response carries a partial report and no
+	// summary. Empty means the full study.
+	Artefacts []string `json:"artefacts,omitempty"`
 }
 
 // Canonical is a fully-defaulted request: the cache key domain. Two
 // requests naming the same world in different ways (omitted fields vs
 // explicit defaults) canonicalize identically and share one run.
 type Canonical struct {
-	Seed             uint64  `json:"seed"`
-	Scale            float64 `json:"scale"`
-	AnnotationSize   int     `json:"annotation_size"`
-	Workers          int     `json:"workers"`
-	CrawlConcurrency int     `json:"crawl_concurrency"`
+	Seed             uint64   `json:"seed"`
+	Scale            float64  `json:"scale"`
+	AnnotationSize   int      `json:"annotation_size"`
+	Workers          int      `json:"workers"`
+	CrawlConcurrency int      `json:"crawl_concurrency"`
+	Artefacts        []string `json:"artefacts,omitempty"`
 }
 
 // canonicalize applies the same defaulting core.NewStudy and
 // synth.Generate apply — sourced from their exported defaults, so the
-// key always matches what actually runs.
-func canonicalize(r Request) Canonical {
+// key always matches what actually runs. Artefact names are
+// normalized (lowercased, trimmed, sorted, deduplicated) and
+// validated; an unknown name is the error a handler maps to 400.
+func canonicalize(r Request) (Canonical, error) {
 	def := core.DefaultOptions()
 	c := Canonical{
 		Seed: r.Seed, Scale: r.Scale, AnnotationSize: r.AnnotationSize,
@@ -137,17 +160,34 @@ func canonicalize(r Request) Canonical {
 	if c.CrawlConcurrency <= 0 {
 		c.CrawlConcurrency = def.CrawlConcurrency
 	}
-	return c
+	if len(r.Artefacts) > 0 {
+		seen := make(map[string]bool, len(r.Artefacts))
+		for _, raw := range r.Artefacts {
+			name := strings.ToLower(strings.TrimSpace(raw))
+			if name == "" || seen[name] {
+				continue
+			}
+			if _, _, err := report.Resolve(name); err != nil {
+				return Canonical{}, err
+			}
+			seen[name] = true
+			c.Artefacts = append(c.Artefacts, name)
+		}
+		sort.Strings(c.Artefacts)
+	}
+	return c, nil
 }
 
 // fromCell canonicalizes a sweep cell — cells are already normalized
 // with the same defaults, so this is the identity on the values, just
-// a type change.
+// a type change. Cells never carry an artefact filter, so this cannot
+// fail.
 func fromCell(c sweep.Cell) Canonical {
-	return canonicalize(Request{
+	canon, _ := canonicalize(Request{
 		Seed: c.Seed, Scale: c.Scale, AnnotationSize: c.Annotation,
 		Workers: c.Workers, CrawlConcurrency: c.CrawlConcurrency,
 	})
+	return canon
 }
 
 // key renders the canonical options as the cache key.
@@ -156,7 +196,8 @@ func (c Canonical) key() string {
 		"|scale=" + strconv.FormatFloat(c.Scale, 'g', -1, 64) +
 		"|annotation=" + strconv.Itoa(c.AnnotationSize) +
 		"|workers=" + strconv.Itoa(c.Workers) +
-		"|crawl=" + strconv.Itoa(c.CrawlConcurrency)
+		"|crawl=" + strconv.Itoa(c.CrawlConcurrency) +
+		"|arts=" + strings.Join(c.Artefacts, ",")
 }
 
 // coreOptions expands the canonical options for core.NewStudy.
@@ -212,6 +253,10 @@ type run struct {
 	summary *Summary
 	stages  []pipeline.StageSnapshot
 	report  string
+	// sections holds every rendered report section by name — the
+	// GET /v1/study/{id}/artefact/{name} source. A full run renders
+	// all of them; a filtered run only the requested ones.
+	sections map[string]string
 }
 
 func (r *run) envelope(cached bool, full bool) Envelope {
@@ -251,6 +296,10 @@ type Stats struct {
 	Evictions     int64 `json:"evictions"`
 	InFlight      int   `json:"in_flight"`
 	CachedResults int   `json:"cached_results"`
+	// Memo mirrors the shared artefact store's counters (absent when
+	// memo sharing is disabled): Computes is the work the service
+	// actually did, Hits the work the artefact graph saved it.
+	Memo *artefact.StoreStats `json:"memo,omitempty"`
 }
 
 // Service runs studies behind a cache, an in-flight table and a
@@ -278,6 +327,13 @@ type Service struct {
 	// world). Server-side sweep cells varying only annotation/workers
 	// hit it hardest.
 	worlds *sweep.WorldCache
+
+	// memo shares artefact values across every run through the
+	// service (LRU-bounded in entries): two clients asking for
+	// different tables of the same world run the shared prefix of the
+	// artefact graph once, coalesced by the store's in-flight
+	// deduplication.
+	memo *artefact.Store
 }
 
 // New builds a service.
@@ -294,6 +350,9 @@ func New(cfg Config) *Service {
 	}
 	if cfg.WorldCacheSize > 0 {
 		s.worlds = sweep.NewWorldCache(cfg.WorldCacheSize)
+	}
+	if cfg.MemoSize > 0 {
+		s.memo = artefact.NewStore(cfg.MemoSize)
 	}
 	return s
 }
@@ -346,14 +405,45 @@ func (s *Service) execute(r *run) {
 	} else {
 		study = core.NewStudy(opts)
 	}
-	res, err := study.Run(context.Background())
+	if s.memo != nil {
+		study.UseMemo(s.memo)
+	}
+
+	// Full requests evaluate the whole artefact graph; filtered
+	// requests only the selection's subgraph. Either way the shared
+	// memo store carries node values across runs.
+	var res *core.Results
+	var err error
+	sections, _, rerr := report.Resolve(r.opts.Artefacts...)
+	if rerr != nil {
+		// Unreachable for canonicalized options, but never run an
+		// unvalidated selection.
+		err = rerr
+	} else if len(r.opts.Artefacts) == 0 {
+		res, err = study.Run(context.Background())
+	} else {
+		res, err = study.Compute(context.Background(), r.opts.Artefacts...)
+		study.Close()
+	}
 	elapsed := time.Since(start)
 
 	if err == nil {
-		sum := sweep.Summarize(res)
-		r.summary = &sum
+		r.sections = make(map[string]string, len(sections))
+		parts := make([]string, 0, len(sections))
+		for _, sec := range sections {
+			text := sec.Render(res)
+			r.sections[sec.Name] = text
+			parts = append(parts, text)
+		}
+		// For a full run this join IS report.Full (same sections,
+		// same order, same separator).
+		r.report = strings.Join(parts, "\n")
+		if len(r.opts.Artefacts) == 0 {
+			// Only a full run has every field a Summary reads.
+			sum := sweep.Summarize(res)
+			r.summary = &sum
+		}
 		r.stages = study.PipelineStats()
-		r.report = report.Full(res)
 		r.elapsed = elapsed
 		r.status = StatusDone
 	} else {
@@ -401,6 +491,10 @@ func (s *Service) Stats() Stats {
 	st := s.stats
 	st.InFlight = len(s.inflight)
 	st.CachedResults = len(s.cache)
+	if s.memo != nil {
+		ms := s.memo.Stats()
+		st.Memo = &ms
+	}
 	return st
 }
 
@@ -410,6 +504,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/study", s.handleRun)
 	mux.HandleFunc("GET /v1/study", s.handleList)
 	mux.HandleFunc("GET /v1/study/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/study/{id}/artefact/{name}", s.handleArtefact)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/sweep/{id}", s.handleSweepGet)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -439,7 +534,11 @@ func (s *Service) handleRun(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
-	c := canonicalize(in)
+	c, err := canonicalize(in)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	if reason := s.validate(c); reason != "" {
 		httpError(w, http.StatusUnprocessableEntity, reason)
 		return
@@ -476,6 +575,61 @@ func (s *Service) handleGet(w http.ResponseWriter, req *http.Request) {
 		}
 	}
 	writeJSON(w, r.envelope(false, wantReport(req)))
+}
+
+// ArtefactEnvelope is the GET /v1/study/{id}/artefact/{name}
+// response: one named artefact's rendered section(s) from a completed
+// run.
+type ArtefactEnvelope struct {
+	ID       string `json:"id"`
+	Artefact string `json:"artefact"`
+	Status   string `json:"status"`
+	Report   string `json:"report,omitempty"`
+}
+
+// handleArtefact serves a single artefact of a run by name — the
+// selective read path: a client that already ran (or is sharing) a
+// study fetches just Table 5 without the rest of the report.
+//
+// The name is validated before the id is looked up, so an unknown
+// artefact is always 400, and a missing or evicted id 404.
+func (s *Service) handleArtefact(w http.ResponseWriter, req *http.Request) {
+	id, name := req.PathValue("id"), req.PathValue("name")
+	sections, _, err := report.Resolve(name)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	r, ok := s.byID[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such study run (completed runs are evicted LRU)")
+		return
+	}
+	select {
+	case <-r.done:
+	case <-req.Context().Done():
+		return
+	}
+	if r.status != StatusDone {
+		httpError(w, http.StatusConflict, fmt.Sprintf("run %s %s: %s", r.id, r.status, r.errMsg))
+		return
+	}
+	var parts []string
+	for _, sec := range sections {
+		text, ok := r.sections[sec.Name]
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Sprintf(
+				"run %s did not compute %q (its artefact filter is %v)", r.id, sec.Name, r.opts.Artefacts))
+			return
+		}
+		parts = append(parts, text)
+	}
+	writeJSON(w, ArtefactEnvelope{
+		ID: r.id, Artefact: name, Status: r.status,
+		Report: strings.Join(parts, "\n"),
+	})
 }
 
 // RunInfo is one row of the GET /v1/study listing: enough for a sweep

@@ -158,12 +158,12 @@ func TestStudyListing(t *testing.T) {
 // TestCrawlConcurrencyCanonicalization: the crawl knob is part of the
 // cache key, defaults like the study itself, and is bounded.
 func TestCrawlConcurrencyCanonicalization(t *testing.T) {
-	a := canonicalize(Request{})
-	b := canonicalize(Request{CrawlConcurrency: 8})
+	a, _ := canonicalize(Request{})
+	b, _ := canonicalize(Request{CrawlConcurrency: 8})
 	if a.key() != b.key() {
 		t.Fatalf("default crawl concurrency should canonicalize to 8: %q vs %q", a.key(), b.key())
 	}
-	if c := canonicalize(Request{CrawlConcurrency: 4}); c.key() == a.key() {
+	if c, _ := canonicalize(Request{CrawlConcurrency: 4}); c.key() == a.key() {
 		t.Fatal("distinct crawl concurrency collapsed into one key")
 	}
 

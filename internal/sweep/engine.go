@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/artefact"
 	"repro/internal/core"
 )
 
@@ -37,6 +38,14 @@ type Local struct {
 	// either way (generation is deterministic and runs never mutate
 	// the world); TestCachedSweepMatchesUncached pins it.
 	Worlds *WorldCache
+	// Memo, when set, shares artefact values across cells under their
+	// canonical node keys — reuse one level above Worlds: a
+	// crawler-concurrency grid (or a re-run of an annotation-only
+	// grid against a warm store) re-crawls zero times and only pays
+	// for the nodes whose inputs actually changed. Results are
+	// bit-identical either way (node keys cover every semantic
+	// parameter); TestArtefactMemoSweep pins it.
+	Memo *artefact.Store
 }
 
 // RunCell generates (or fetches) the cell's world and runs the full
@@ -49,6 +58,9 @@ func (l Local) RunCell(ctx context.Context, c Cell) (CellResult, error) {
 		study = core.NewStudyWithWorld(opts, l.Worlds.Get(opts.Synth))
 	} else {
 		study = core.NewStudy(opts)
+	}
+	if l.Memo != nil {
+		study.UseMemo(l.Memo)
 	}
 	res, err := study.Run(ctx)
 	if err != nil {
