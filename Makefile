@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: verify vet fmt-check build test test-race bench-smoke bench-diff bench-baseline bench clean
+.PHONY: verify vet fmt-check lint build test test-race bench-smoke bench-diff bench-baseline bench clean
 
-verify: vet build test
+verify: vet lint build test
 
 vet:
 	$(GO) vet ./...
@@ -12,11 +12,20 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# Project-invariant gate: the ewlint analyzer suite (determinism,
+# poolpair, memokey, ctxhygiene — see DESIGN.md §10). Hard gate: any
+# finding fails the build; suppress a deliberate exception with a
+# reasoned //lint:ignore directive at the site.
+lint: fmt-check
+	$(GO) run ./cmd/ewlint ./...
+
 build:
 	$(GO) build ./...
 
+# -vet=all runs every go vet check (not just the default test-time
+# subset) over each package as its tests compile.
 test:
-	$(GO) test ./...
+	$(GO) test -vet=all ./...
 
 test-race:
 	$(GO) test -race ./...

@@ -73,7 +73,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		// Read-only: a close error cannot lose data.
+		defer func() { _ = f.Close() }()
 		r = f
 	}
 	art, err := load(r)
@@ -93,7 +94,7 @@ func main() {
 			fatal(err)
 		}
 		base, err := load(bf)
-		bf.Close()
+		_ = bf.Close() // read-only: a close error cannot lose data
 		if err != nil {
 			fatal(err)
 		}
@@ -111,7 +112,11 @@ func main() {
 	}
 	data = append(data, '\n')
 	if *out == "" {
-		os.Stdout.Write(data)
+		// The artifact usually lands in a shell redirection; a short
+		// write must fail the run, not silently truncate the JSON.
+		if _, err := os.Stdout.Write(data); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {

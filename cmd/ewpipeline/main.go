@@ -68,7 +68,13 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "ewpipeline:", err)
 			return 1
 		}
-		defer f.Close()
+		// The profile is written on StopCPUProfile; a failed close
+		// means a truncated profile and must not pass silently.
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "ewpipeline: cpuprofile:", err)
+			}
+		}()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "ewpipeline:", err)
 			return 1
@@ -84,10 +90,12 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "ewpipeline:", err)
 			return
 		}
-		defer f.Close()
 		runtime.GC() // report steady-state live heap, not transient garbage
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "ewpipeline:", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ewpipeline: memprofile:", err)
 		}
 	}()
 

@@ -57,6 +57,13 @@ func main() {
 	fmt.Printf("world ready in %v (%d reverse records, %d archived URLs)\n",
 		time.Since(start).Round(time.Millisecond), w.Reverse.Len(), w.Wayback.NumURLs())
 
+	// The signal context is the whole process's root: servers stop on
+	// it, and the study service receives it as BaseContext so
+	// in-flight studies and sweeps are cancelled at shutdown instead
+	// of running headless to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	type service struct {
 		name string
 		addr string
@@ -73,6 +80,7 @@ func main() {
 			CacheSize:         *studyCache,
 			MaxScale:          *studyMaxScale,
 			MaxSweepCells:     *studySweepCells,
+			BaseContext:       ctx,
 		})
 		services = append(services, service{"study", *studyAddr, svc.Handler()})
 	}
@@ -86,7 +94,7 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ewserve: %s: %v\n", s.name, err)
 			for _, open := range listeners {
-				open.Close()
+				_ = open.Close() // best-effort cleanup on the exit path
 			}
 			os.Exit(1)
 		}
@@ -94,9 +102,6 @@ func main() {
 		servers = append(servers, &http.Server{Handler: s.h, ReadHeaderTimeout: 5 * time.Second})
 		fmt.Printf("%s listening on http://%s\n", s.name, ln.Addr())
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	g, gctx := pipeline.NewErrGroup(ctx)
 	for i := range servers {

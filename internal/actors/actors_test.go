@@ -1,6 +1,7 @@
 package actors
 
 import (
+	"sort"
 	"testing"
 	"time"
 
@@ -213,11 +214,18 @@ func TestInterestsShift(t *testing.T) {
 		t.Errorf("market share did not grow: before %.1f%% after %.1f%%",
 			before["Market"], after["Market"])
 	}
-	// Percentages sum to ~100 per phase.
+	// Percentages sum to ~100 per phase. Fold in category order:
+	// float accumulation over map order is the PR 1 bug class the
+	// determinism analyzer bans, and tests hold the same bar.
 	for phase, prof := range interests {
+		cats := make([]string, 0, len(prof))
+		for c := range prof {
+			cats = append(cats, c)
+		}
+		sort.Strings(cats)
 		sum := 0.0
-		for _, v := range prof {
-			sum += v
+		for _, c := range cats {
+			sum += prof[c]
 		}
 		if sum < 99 || sum > 101 {
 			t.Errorf("phase %s percentages sum to %.2f", phase, sum)

@@ -1,0 +1,14 @@
+package analyzers
+
+import (
+	"testing"
+
+	"repro/internal/lintx/lintest"
+)
+
+// internal/svc pins the context.Background/TODO ban, the test-file
+// exemption, the foreign-Stats write rule and the suppression
+// directive; plain pins that nothing applies outside internal/.
+func TestCtxHygiene(t *testing.T) {
+	lintest.Run(t, "testdata", CtxHygiene, "internal/svc", "plain")
+}

@@ -1,0 +1,275 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lintx"
+)
+
+// Determinism mechanizes the study's bit-reproducibility invariant
+// (DESIGN.md §3): every table derives from Config.Seed alone. It
+// applies to the study-path packages (synth, core, actors, earnings,
+// sweep, stats, report) and forbids, in order of the PR 1 bug class
+// they re-introduce:
+//
+//  1. math/rand (and v2): randomness must come from internal/randx,
+//     whose streams are bit-stable across Go releases;
+//  2. time.Now: wall-clock values must not reach study results
+//     (timing metadata needs an explicit //lint:ignore rationale);
+//  3. slices accumulated inside a map-range loop with no subsequent
+//     sort — the synth.genExchange authorship bug;
+//  4. float accumulation (+=, -=, *=, /=) inside a map-range loop —
+//     the actors.Buckets fold-order bug;
+//  5. sorts of map-built slices whose final tie-break compares a bare
+//     builtin numeric field — the Table 1 tie-break bug: equal counts
+//     leave the map's random order visible, so the last comparison
+//     must be an identity (a string or named ID type) or the whole
+//     element.
+var Determinism = &lintx.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid nondeterminism sources (math/rand, time.Now, unordered map folds) in study-path packages",
+	Run:  runDeterminism,
+}
+
+// studyPathPackages are the packages whose outputs land in study
+// results; the rule applies to "repro/internal/<name>" (and fixture
+// paths ending "internal/<name>").
+var studyPathPackages = map[string]bool{
+	"synth":    true,
+	"core":     true,
+	"actors":   true,
+	"earnings": true,
+	"sweep":    true,
+	"stats":    true,
+	"report":   true,
+}
+
+func isStudyPath(pkgPath string) bool {
+	segs := pathSegments(pkgPath)
+	return len(segs) >= 2 && segs[len(segs)-2] == "internal" && studyPathPackages[segs[len(segs)-1]]
+}
+
+func runDeterminism(pass *lintx.Pass) error {
+	if !isStudyPath(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			switch imp.Path.Value {
+			case `"math/rand"`, `"math/rand/v2"`:
+				pass.Reportf(imp.Pos(), "math/rand in a study-path package: use repro/internal/randx (bit-stable streams; DESIGN.md §3)")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+				pass.Reportf(call.Pos(), "time.Now in a study-path package: wall-clock values must not reach study results")
+			}
+			return true
+		})
+	}
+	for _, fd := range funcDecls(pass.Files) {
+		checkMapFolds(pass, fd)
+	}
+	return nil
+}
+
+// mapAppend is one `v = append(v, ...)` inside a map-range loop.
+type mapAppend struct {
+	obj types.Object
+	rng *ast.RangeStmt
+	pos token.Pos
+}
+
+// sortCall is one call that establishes an order over a slice.
+type sortCall struct {
+	pos  token.Pos
+	arg  types.Object // the sorted slice variable, if identifiable
+	less *ast.FuncLit // comparator, when the call takes one
+}
+
+// checkMapFolds analyzes one function for the three map-order bug
+// shapes (append without sort, float fold, under-specified tie-break).
+func checkMapFolds(pass *lintx.Pass, fd *ast.FuncDecl) {
+	var appends []mapAppend
+	var sorts []sortCall
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					collectMapRangeFolds(pass, n, &appends)
+				}
+			}
+		case *ast.CallExpr:
+			if sc, ok := asSortCall(pass.Info, n); ok {
+				sorts = append(sorts, sc)
+			}
+		}
+		return true
+	})
+
+	for _, ap := range appends {
+		sorted := false
+		for _, sc := range sorts {
+			if sc.pos <= ap.rng.End() || sc.arg == nil || sc.arg != ap.obj {
+				continue
+			}
+			sorted = true
+			if sc.less != nil {
+				checkTieBreak(pass, sc.less)
+			}
+		}
+		if !sorted {
+			pass.Reportf(ap.pos, "slice %q is built in map-iteration order with no subsequent sort; map order is randomized per run (the genExchange PR 1 bug)", ap.obj.Name())
+		}
+	}
+}
+
+// collectMapRangeFolds records slice appends and reports float folds
+// inside one map-range body.
+func collectMapRangeFolds(pass *lintx.Pass, rng *ast.RangeStmt, appends *[]mapAppend) {
+	declaredOutside := func(id *ast.Ident) types.Object {
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return nil
+		}
+		if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+			return nil // loop-local: each iteration's own value
+		}
+		return obj
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ASSIGN, token.DEFINE:
+			// v = append(v, ...) onto a slice declared outside the loop.
+			if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			id, ok := as.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass.Info, call) || len(call.Args) == 0 {
+				return true
+			}
+			if obj := declaredOutside(id); obj != nil {
+				if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.Info.Uses[arg] == obj {
+					*appends = append(*appends, mapAppend{obj: obj, rng: rng, pos: as.Pos()})
+				}
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			// Float accumulation is order-sensitive; int folds are not.
+			lhs := as.Lhs[0]
+			t := pass.TypeOf(lhs)
+			if t == nil {
+				return true
+			}
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				if id, ok := lhs.(*ast.Ident); !ok || declaredOutside(id) != nil {
+					pass.Reportf(as.Pos(), "float accumulation in map-iteration order; fold over a sorted slice instead (the actors.Buckets PR 1 bug)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// asSortCall recognizes the sort/slices package calls that impose an
+// order on their slice argument.
+func asSortCall(info *types.Info, call *ast.CallExpr) (sortCall, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return sortCall{}, false
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	sortable := (pkg == "sort" && (name == "Slice" || name == "SliceStable" || name == "Sort" ||
+		name == "Stable" || name == "Strings" || name == "Ints" || name == "Float64s")) ||
+		(pkg == "slices" && (name == "Sort" || name == "SortFunc" || name == "SortStableFunc"))
+	if !sortable || len(call.Args) == 0 {
+		return sortCall{}, false
+	}
+	sc := sortCall{pos: call.Pos()}
+	arg := ast.Unparen(call.Args[0])
+	// Unwrap a sort.Sort(byX(v)) conversion/wrapper.
+	if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+		arg = ast.Unparen(conv.Args[0])
+	}
+	if id, ok := arg.(*ast.Ident); ok {
+		sc.arg = info.Uses[id]
+	}
+	if len(call.Args) >= 2 {
+		if fl, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit); ok {
+			sc.less = fl
+		}
+	}
+	return sc, true
+}
+
+// checkTieBreak inspects a comparator's final fallback comparison.
+// For a slice assembled from a map, a comparator whose last word is a
+// bare builtin numeric field leaves equal elements in map order — the
+// Table 1 tie-break bug. The final comparison must be an identity: a
+// string field, a named (ID-like) type, or the element itself.
+func checkTieBreak(pass *lintx.Pass, less *ast.FuncLit) {
+	var last *ast.ReturnStmt
+	ast.Inspect(less.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			if last == nil || r.Pos() > last.Pos() {
+				last = r
+			}
+		}
+		return true
+	})
+	if last == nil || len(last.Results) != 1 {
+		return
+	}
+	bin, ok := ast.Unparen(last.Results[0]).(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	switch bin.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return
+	}
+	sel, ok := ast.Unparen(bin.X).(*ast.SelectorExpr)
+	if !ok {
+		return // whole-element comparison or computed key: accept
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	t := s.Obj().Type()
+	if _, named := t.(*types.Named); named {
+		return // named types (forum.ActorID, ...) read as identities
+	}
+	if b, ok := t.(*types.Basic); ok && b.Info()&types.IsNumeric != 0 {
+		pass.Reportf(bin.Pos(), "final tie-break compares builtin numeric field %q: equal values keep map order; end the comparator with an identity field (the Table 1 PR 1 bug)", s.Obj().Name())
+	}
+}

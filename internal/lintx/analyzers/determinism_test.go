@@ -1,0 +1,17 @@
+package analyzers
+
+import (
+	"testing"
+
+	"repro/internal/lintx/lintest"
+)
+
+// The fixtures reproduce the three PR 1 bug shapes verbatim
+// (genExchange map-order authorship, Buckets float fold, Table 1
+// tie-break) plus the rand/time bans, and pin the fixed idioms as
+// clean. internal/other pins the package scoping: the same code is
+// legal off the study path.
+func TestDeterminism(t *testing.T) {
+	lintest.Run(t, "testdata", Determinism,
+		"internal/synth", "internal/actors", "internal/core", "internal/other")
+}

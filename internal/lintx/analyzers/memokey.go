@@ -1,0 +1,172 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lintx"
+)
+
+// MemoKey mechanizes the PR 5 keying rule: an artefact node's memo
+// key must be a pure function of the parameters that determine the
+// node's value, and worker/concurrency knobs (Workers,
+// CrawlConcurrency) never do — they size goroutine pools, and the
+// determinism invariant guarantees they cannot move a result. A key
+// that reads them would fracture the shared memo store: runs
+// differing only in concurrency would stop sharing artefacts, and —
+// worse in reverse — a key that *should* have included a semantic
+// field but leans on a knob would alias distinct results.
+//
+// The analyzer finds every function wired into the Key field of an
+// artefact.Node composite literal, closes over the functions it calls
+// within the same package, and reports any read of a struct field
+// named Workers or CrawlConcurrency inside that closure.
+var MemoKey = &lintx.Analyzer{
+	Name: "memokey",
+	Doc:  "artefact.Node key functions must not read Workers/CrawlConcurrency execution knobs",
+	Run:  runMemoKey,
+}
+
+// knobFields are the execution-knob field names excluded from memo
+// keys by construction.
+var knobFields = map[string]bool{
+	"Workers":          true,
+	"CrawlConcurrency": true,
+}
+
+func runMemoKey(pass *lintx.Pass) error {
+	// Map every function object declared in this package to its body,
+	// for call-closure traversal.
+	bodies := make(map[types.Object]*ast.FuncDecl)
+	for _, fd := range funcDecls(pass.Files) {
+		if obj := pass.Info.Defs[fd.Name]; obj != nil {
+			bodies[obj] = fd
+		}
+	}
+
+	// Roots: expressions assigned to the Key field of an
+	// artefact.Node literal.
+	var roots []ast.Node
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok || !isArtefactNodeLit(pass, cl) {
+				return true
+			}
+			for _, elt := range cl.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Key" {
+					continue
+				}
+				roots = append(roots, resolveKeyFuncs(pass, bodies, kv.Value)...)
+			}
+			return true
+		})
+	}
+
+	// Close over in-package calls and scan each reachable body.
+	visited := make(map[ast.Node]bool)
+	for len(roots) > 0 {
+		body := roots[len(roots)-1]
+		roots = roots[:len(roots)-1]
+		if visited[body] {
+			continue
+		}
+		visited[body] = true
+		// Sels of qualified reads are reported once, at the selector;
+		// the Ident case only covers unqualified field reads.
+		inSelector := make(map[*ast.Ident]bool)
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass.Info, n); fn != nil && fn.Pkg() == pass.Pkg {
+					if fd, ok := bodies[types.Object(fn)]; ok {
+						roots = append(roots, fd)
+					}
+				}
+			case *ast.SelectorExpr:
+				inSelector[n.Sel] = true
+				if s, ok := pass.Info.Selections[n]; ok && s.Kind() == types.FieldVal && knobFields[s.Obj().Name()] {
+					pass.Reportf(n.Pos(), "memo key derives from execution knob %s: node keys must exclude worker/concurrency parameters (PR 5 rule — they never move a result)", s.Obj().Name())
+				}
+			case *ast.Ident:
+				// Unqualified field reads inside methods of the
+				// options struct itself.
+				if inSelector[n] {
+					return true
+				}
+				if v, ok := pass.Info.Uses[n].(*types.Var); ok && v.IsField() && knobFields[v.Name()] {
+					pass.Reportf(n.Pos(), "memo key derives from execution knob %s: node keys must exclude worker/concurrency parameters (PR 5 rule — they never move a result)", v.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isArtefactNodeLit reports whether the literal instantiates
+// artefact.Node (of any type argument).
+func isArtefactNodeLit(pass *lintx.Pass, cl *ast.CompositeLit) bool {
+	t := pass.TypeOf(cl)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Node" && obj.Pkg() != nil && obj.Pkg().Name() == "artefact"
+}
+
+// resolveKeyFuncs maps a Key field value to the function bodies it
+// denotes: a func literal, a local variable bound to one, or a
+// declared function/method of this package.
+func resolveKeyFuncs(pass *lintx.Pass, bodies map[types.Object]*ast.FuncDecl, v ast.Expr) []ast.Node {
+	switch v := ast.Unparen(v).(type) {
+	case *ast.FuncLit:
+		return []ast.Node{v}
+	case *ast.Ident:
+		obj := pass.Info.Uses[v]
+		if obj == nil {
+			return nil
+		}
+		if fd, ok := bodies[obj]; ok {
+			return []ast.Node{fd}
+		}
+		// A local `key := func(...) ...` binding: find the literal.
+		var out []ast.Node
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for i, lhs := range as.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || (pass.Info.Defs[id] != obj && pass.Info.Uses[id] != obj) {
+						continue
+					}
+					if i < len(as.Rhs) {
+						if fl, ok := ast.Unparen(as.Rhs[i]).(*ast.FuncLit); ok {
+							out = append(out, fl)
+						}
+					}
+				}
+				return true
+			})
+		}
+		return out
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[v.Sel].(*types.Func); ok {
+			if fd, ok := bodies[types.Object(fn)]; ok {
+				return []ast.Node{fd}
+			}
+		}
+	}
+	return nil
+}

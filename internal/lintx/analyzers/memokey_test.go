@@ -1,0 +1,15 @@
+package analyzers
+
+import (
+	"testing"
+
+	"repro/internal/lintx/lintest"
+)
+
+// The fixture wires keys as func literals, method expressions and
+// local closures; knob reads are found through in-package call chains
+// (poisonedKey -> worldKey), while the same read outside any key
+// closure (sizes) stays clean.
+func TestMemoKey(t *testing.T) {
+	lintest.Run(t, "testdata", MemoKey, "keys")
+}

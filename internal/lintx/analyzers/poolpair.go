@@ -1,0 +1,238 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lintx"
+)
+
+// PoolPair mechanizes the imagex raster-pool contract (DESIGN.md §7):
+// every imagex.GetImage must be matched by an imagex.PutImage on all
+// exit paths of the acquiring function — a deferred Put, or a direct
+// Put in the acquisition's own block with no return between them —
+// and the pooled raster must neither be used after its Put nor escape
+// the function (via return value, struct/map/slice store, composite
+// literal or channel send). A missed Put silently degrades the
+// zero-alloc hot path; an escaped or reused raster aliases a buffer
+// the pool may hand to someone else.
+//
+// Ownership transfer is deliberately not modeled: a function that
+// wants to hand a pooled raster to its caller must instead accept a
+// destination the caller acquired (see ocr.binariseInto).
+var PoolPair = &lintx.Analyzer{
+	Name: "poolpair",
+	Doc:  "every imagex.GetImage must be released by PutImage on all exit paths, with no use-after-put and no escape",
+	Run:  runPoolPair,
+}
+
+func runPoolPair(pass *lintx.Pass) error {
+	for _, fd := range funcDecls(pass.Files) {
+		checkPoolPairs(pass, fd)
+	}
+	return nil
+}
+
+// acquisition is one `v := imagex.GetImage(...)`.
+type acquisition struct {
+	obj    types.Object
+	assign *ast.AssignStmt
+	block  *ast.BlockStmt // block whose statement list contains the assign
+}
+
+func checkPoolPairs(pass *lintx.Pass, fd *ast.FuncDecl) {
+	// Collect GetImage calls and the simple assignments consuming them.
+	var acqs []acquisition
+	parents := buildParents(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPkgFunc(pass.Info, call, "imagex", "GetImage") {
+			return true
+		}
+		as, ok := parents[call].(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Rhs[0] != ast.Expr(call) {
+			pass.Reportf(call.Pos(), "imagex.GetImage result must be assigned to a variable so its PutImage pairing is checkable")
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			pass.Reportf(call.Pos(), "imagex.GetImage result must be assigned to a plain variable, not a field or element")
+			return true
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		blk, _ := parents[as].(*ast.BlockStmt)
+		acqs = append(acqs, acquisition{obj: obj, assign: as, block: blk})
+		return true
+	})
+
+	for _, acq := range acqs {
+		checkAcquisition(pass, fd, parents, acq)
+	}
+}
+
+func checkAcquisition(pass *lintx.Pass, fd *ast.FuncDecl, parents map[ast.Node]ast.Node, acq acquisition) {
+	name := acq.obj.Name()
+	var (
+		deferredPut bool
+		directPuts  []*ast.CallExpr
+	)
+	// Locate every PutImage(v), noting whether it is deferred.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPkgFunc(pass.Info, call, "imagex", "PutImage") || len(call.Args) != 1 {
+			return true
+		}
+		arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok || pass.Info.Uses[arg] != acq.obj {
+			return true
+		}
+		if _, ok := parents[call].(*ast.DeferStmt); ok {
+			if call.Pos() > acq.assign.Pos() {
+				deferredPut = true
+			}
+		} else {
+			directPuts = append(directPuts, call)
+		}
+		return true
+	})
+
+	checkEscapes(pass, fd, acq, name)
+
+	if deferredPut {
+		return // a defer covers every exit path
+	}
+	if len(directPuts) == 0 {
+		pass.Reportf(acq.assign.Pos(), "pooled image %q is never released: pair imagex.GetImage with defer imagex.PutImage", name)
+		return
+	}
+	put := directPuts[0]
+	// The direct Put must post-dominate the acquisition; the
+	// approximation is: same statement block, no return in between.
+	if stmt := enclosingStmt(parents, put); stmt == nil || acq.block == nil ||
+		enclosingBlock(parents, stmt) != acq.block {
+		pass.Reportf(put.Pos(), "imagex.PutImage(%s) does not post-dominate its GetImage: release in the acquisition's own block or use defer", name)
+	}
+	// Early returns between Get and Put leak the buffer on that path.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if r, ok := n.(*ast.ReturnStmt); ok && r.Pos() > acq.assign.End() && r.End() < put.Pos() {
+			pass.Reportf(r.Pos(), "return leaks pooled image %q: PutImage at line %d does not cover this path (use defer)",
+				name, pass.Fset.Position(put.Pos()).Line)
+		}
+		return true
+	})
+	// No touching the raster once it is back in the pool.
+	lastPut := directPuts[len(directPuts)-1]
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != acq.obj || id.Pos() <= lastPut.End() {
+			return true
+		}
+		pass.Reportf(id.Pos(), "use of pooled image %q after imagex.PutImage returned its buffer to the pool", name)
+		return true
+	})
+}
+
+// enclosingStmt walks up from a call to the statement containing it.
+func enclosingStmt(parents map[ast.Node]ast.Node, n ast.Node) ast.Stmt {
+	for p := ast.Node(n); p != nil; p = parents[p] {
+		if s, ok := p.(ast.Stmt); ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// checkEscapes reports any way the pooled raster outlives the
+// function: returns, stores into fields/elements, composite literals,
+// channel sends.
+func checkEscapes(pass *lintx.Pass, fd *ast.FuncDecl, acq acquisition, name string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if leaksValue(pass, res, acq.obj) {
+					pass.Reportf(n.Pos(), "pooled image %q escapes via return: the acquirer must release it (accept a caller-owned destination instead)", name)
+				}
+			}
+		case *ast.AssignStmt:
+			if n == acq.assign || n.Tok == token.DEFINE {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if !leaksValue(pass, rhs, acq.obj) {
+					continue
+				}
+				if i < len(n.Lhs) {
+					if _, isIdent := ast.Unparen(n.Lhs[i]).(*ast.Ident); isIdent {
+						continue // local alias: tracked conservatively as a use
+					}
+				}
+				pass.Reportf(n.Pos(), "pooled image %q escapes via store into a field or element", name)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if leaksValue(pass, elt, acq.obj) {
+					pass.Reportf(n.Pos(), "pooled image %q escapes via composite literal", name)
+				}
+			}
+		case *ast.SendStmt:
+			if leaksValue(pass, n.Value, acq.obj) {
+				pass.Reportf(n.Pos(), "pooled image %q escapes via channel send", name)
+			}
+		}
+		return true
+	})
+}
+
+// leaksValue reports whether evaluating e yields the pooled image or a
+// view that aliases its buffer (the image pointer, its address, its
+// Pix slice, a re-slice of Pix, or a composite carrying any of those).
+// Value-extracting reads — im.W, im.Pix[0], len(im.Pix) — copy scalars
+// out and do not leak.
+func leaksValue(pass *lintx.Pass, e ast.Expr, obj types.Object) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[e] == obj
+	case *ast.SelectorExpr:
+		// im.Pix ([]byte) aliases the buffer; im.W (int) is a copy.
+		return leaksValue(pass, e.X, obj) && isRefType(pass.TypeOf(e))
+	case *ast.SliceExpr:
+		return leaksValue(pass, e.X, obj)
+	case *ast.UnaryExpr:
+		return e.Op == token.AND && leaksValue(pass, e.X, obj)
+	case *ast.StarExpr:
+		return leaksValue(pass, e.X, obj)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if leaksValue(pass, elt, obj) {
+				return true
+			}
+		}
+	case *ast.KeyValueExpr:
+		return leaksValue(pass, e.Value, obj)
+	}
+	return false
+}
+
+// isRefType reports whether t can carry a reference to the pooled
+// buffer (pointer, slice, map, channel or interface).
+func isRefType(t types.Type) bool {
+	if t == nil {
+		return true // be conservative when the checker has no type
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}

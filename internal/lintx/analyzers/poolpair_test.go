@@ -1,0 +1,15 @@
+package analyzers
+
+import (
+	"testing"
+
+	"repro/internal/lintx/lintest"
+)
+
+// The fixture covers both clean pairings (defer, same-block direct
+// Put), every leak class (no Put, early return, conditional Put,
+// use-after-put, escape via return/store/composite literal) and the
+// directive-based ownership-transfer escape hatch.
+func TestPoolPair(t *testing.T) {
+	lintest.Run(t, "testdata", PoolPair, "poolfix")
+}

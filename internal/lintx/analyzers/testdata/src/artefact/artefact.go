@@ -1,0 +1,13 @@
+// Package artefact is the fixture double of the real artefact graph:
+// the memokey analyzer matches Node composite literals by package and
+// type name, so this stub carries the same Key field shape.
+package artefact
+
+type Deps map[string]any
+
+type Node[S any] struct {
+	Name    string
+	Deps    []string
+	Key     func(S) string
+	Compute func(S, Deps) (any, error)
+}

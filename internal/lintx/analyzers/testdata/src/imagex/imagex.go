@@ -1,0 +1,13 @@
+// Package imagex is the fixture double of the real raster pool: the
+// poolpair analyzer matches GetImage/PutImage by package and function
+// name, so this stub exercises the same pairing rules.
+package imagex
+
+type Image struct {
+	W, H int
+	Pix  []byte
+}
+
+func GetImage(w, h int) *Image { return &Image{W: w, H: h, Pix: make([]byte, w*h)} }
+
+func PutImage(im *Image) {}

@@ -1,0 +1,45 @@
+// Fixture: the actors.Buckets PR 1 bug shape — float accumulation in
+// map-iteration order — and the sortedProfiles fix idiom.
+package actors
+
+import "sort"
+
+type ActorID string
+
+type Profile struct {
+	Actor   ActorID
+	EwPosts int
+	Pct     float64
+}
+
+// bucketsUnsorted folds floats straight off the map: the fold order
+// is randomized per run and float addition is not associative.
+func bucketsUnsorted(profiles map[ActorID]*Profile) (float64, int) {
+	var posts float64
+	var n int
+	for _, p := range profiles {
+		n++
+		posts += p.Pct // want "float accumulation in map-iteration order"
+	}
+	return posts, n
+}
+
+// sortedProfiles is the fix idiom: collect, sort by a stable identity,
+// fold over the slice. The comparator's tie-break is a named ID type,
+// which the analyzer accepts as an identity.
+func sortedProfiles(profiles map[ActorID]*Profile) []*Profile {
+	out := make([]*Profile, 0, len(profiles))
+	for _, p := range profiles {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Actor < out[j].Actor })
+	return out
+}
+
+func bucketsSorted(profiles map[ActorID]*Profile) float64 {
+	var posts float64
+	for _, p := range sortedProfiles(profiles) {
+		posts += p.Pct
+	}
+	return posts
+}

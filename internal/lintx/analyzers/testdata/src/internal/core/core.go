@@ -1,0 +1,40 @@
+// Fixture: the Table 1 tie-break PR 1 bug shape — a map-built slice
+// sorted by a single builtin numeric criterion, so equal counts keep
+// randomized map order.
+package core
+
+import "sort"
+
+type ForumOverviewRow struct {
+	Forum   string
+	Threads int
+}
+
+// overviewUnderSpecified sorts by thread count alone: forums with
+// equal counts land in map order.
+func overviewUnderSpecified(byForum map[string]*ForumOverviewRow) []ForumOverviewRow {
+	var rows []ForumOverviewRow
+	for _, row := range byForum {
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return rows[i].Threads > rows[j].Threads // want "final tie-break compares builtin numeric field"
+	})
+	return rows
+}
+
+// overviewTotal is the fix: the comparator's final word is an
+// identity (the forum name), so the order is total.
+func overviewTotal(byForum map[string]*ForumOverviewRow) []ForumOverviewRow {
+	var rows []ForumOverviewRow
+	for _, row := range byForum {
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Threads != rows[j].Threads {
+			return rows[i].Threads > rows[j].Threads
+		}
+		return rows[i].Forum < rows[j].Forum
+	})
+	return rows
+}

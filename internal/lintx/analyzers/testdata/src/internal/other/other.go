@@ -1,0 +1,17 @@
+// Fixture: a non-study-path internal package. Everything the
+// determinism analyzer bans is fine here — the rule is scoped to the
+// packages whose outputs land in study results.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func ok(m map[string]float64) (float64, int64) {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum, time.Now().UnixNano() + int64(rand.Int())
+}

@@ -1,0 +1,33 @@
+// Fixture: internal/* library code must thread caller contexts and
+// must not reach into another package's Stats counters.
+package svc
+
+import (
+	"context"
+
+	"statspkg"
+)
+
+func detached() context.Context {
+	return context.Background() // want "context.Background in library code"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "context.TODO in library code"
+}
+
+// sanctioned shows the documented-detachment escape hatch.
+func sanctioned() context.Context {
+	//lint:ignore ctxhygiene fixture demonstrates a documented service-lifetime root
+	return context.Background()
+}
+
+// bumpForeign races against statspkg's own mutex helpers.
+func bumpForeign(st *statspkg.ServerStats) {
+	st.Hits++ // want "outside its owning package"
+}
+
+// bumpViaHelper goes through the owning package: clean.
+func bumpViaHelper(st *statspkg.ServerStats) {
+	st.AddHit()
+}

@@ -1,0 +1,13 @@
+package svc
+
+import (
+	"context"
+	"testing"
+)
+
+// Tests are exempt from the context rule: a test IS a root scope.
+func TestBackgroundAllowed(t *testing.T) {
+	if context.Background() == nil {
+		t.Fatal("impossible")
+	}
+}

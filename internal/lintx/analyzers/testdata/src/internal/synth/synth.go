@@ -1,0 +1,44 @@
+// Fixture: the synth.genExchange PR 1 bug shape plus the
+// rand/time.Now bans. The import path ends internal/synth, so the
+// determinism analyzer applies.
+package synth
+
+import (
+	"math/rand" // want "math/rand in a study-path package"
+	"sort"
+	"time"
+)
+
+type ActorID string
+
+// eligibleUnsorted is the genExchange PR 1 bug, verbatim shape:
+// authorship candidates collected from a map and used with no
+// ordering step, so the RNG consumes them in randomized map order.
+func eligibleUnsorted(ewCount map[ActorID]int, thr int) []ActorID {
+	var eligible []ActorID
+	for a, n := range ewCount {
+		if n >= thr {
+			eligible = append(eligible, a) // want "map-iteration order with no subsequent sort"
+		}
+	}
+	return eligible
+}
+
+// eligibleSorted is the fix: collect, then sort before use.
+func eligibleSorted(ewCount map[ActorID]int, thr int) []ActorID {
+	var eligible []ActorID
+	for a, n := range ewCount {
+		if n >= thr {
+			eligible = append(eligible, a)
+		}
+	}
+	sort.Slice(eligible, func(i, j int) bool { return eligible[i] < eligible[j] })
+	return eligible
+}
+
+func jitter() int64 {
+	t := time.Now() // want "time.Now in a study-path package"
+	//lint:ignore determinism fixture demonstrates the sanctioned suppression path
+	u := time.Now()
+	return t.UnixNano() + u.UnixNano() + int64(rand.Int())
+}

@@ -1,0 +1,56 @@
+// Fixture: the memo-key purity rule — key functions wired into
+// artefact.Node must not read Workers/CrawlConcurrency knobs,
+// including through in-package call chains.
+package keys
+
+import (
+	"strconv"
+
+	"artefact"
+)
+
+type Options struct {
+	Seed             uint64
+	Scale            float64
+	Workers          int
+	CrawlConcurrency int
+}
+
+type Study struct{ Opts Options }
+
+// worldKey covers exactly the semantic parameters: clean.
+func (s *Study) worldKey() string {
+	return strconv.FormatUint(s.Opts.Seed, 10) + "|" +
+		strconv.FormatFloat(s.Opts.Scale, 'g', -1, 64)
+}
+
+// poisonedKey folds an execution knob into the key; it is reached
+// through a method-expression Key below.
+func (s *Study) poisonedKey() string {
+	return s.worldKey() + "|" + strconv.Itoa(s.Opts.Workers) // want "execution knob Workers"
+}
+
+var clean = artefact.Node[*Study]{
+	Name: "select",
+	Key:  func(s *Study) string { return s.worldKey() },
+}
+
+var poisoned = artefact.Node[*Study]{
+	Name: "crawl",
+	Key:  (*Study).poisonedKey,
+}
+
+// graph wires a local closure as a key; the knob read inside it is
+// found through the local binding.
+func graph() []artefact.Node[*Study] {
+	ck := func(s *Study) string {
+		return strconv.Itoa(s.Opts.CrawlConcurrency) // want "execution knob CrawlConcurrency"
+	}
+	return []artefact.Node[*Study]{
+		{Name: "fetch", Key: ck},
+	}
+}
+
+// sizes reads a knob OUTSIDE any key closure: sizing a worker pool is
+// exactly what the knobs are for, so this is clean.
+func sizes(s *Study) int { return s.Opts.Workers }

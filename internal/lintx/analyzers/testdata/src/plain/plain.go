@@ -1,0 +1,7 @@
+// Fixture: a package outside internal/ — ctxhygiene does not apply,
+// so a root context here is fine.
+package plain
+
+import "context"
+
+func root() context.Context { return context.Background() }

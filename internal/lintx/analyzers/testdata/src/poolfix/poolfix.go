@@ -1,0 +1,89 @@
+// Fixture: the imagex pool-pairing contract — release on all exit
+// paths, no use-after-put, no escape.
+package poolfix
+
+import "imagex"
+
+type holder struct{ ref *imagex.Image }
+
+// deferredClean is the canonical pairing: defer covers every exit.
+// Value-extracting reads (len of the buffer) do not leak.
+func deferredClean(w, h int) int {
+	im := imagex.GetImage(w, h)
+	defer imagex.PutImage(im)
+	return len(im.Pix)
+}
+
+// directClean releases in the acquisition's own block with no return
+// in between.
+func directClean(w, h int) int {
+	im := imagex.GetImage(w, h)
+	n := len(im.Pix)
+	imagex.PutImage(im)
+	return n
+}
+
+// leak never releases the raster.
+func leak(w, h int) {
+	im := imagex.GetImage(w, h) // want "never released"
+	_ = im
+}
+
+// earlyReturn leaks on the w > h path: the direct Put does not cover
+// it.
+func earlyReturn(w, h int) int {
+	im := imagex.GetImage(w, h)
+	if w > h {
+		return 0 // want "return leaks pooled image"
+	}
+	n := len(im.Pix)
+	imagex.PutImage(im)
+	return n
+}
+
+// escapesReturn hands the pooled pointer to the caller (and, having
+// no Put, also never releases it).
+func escapesReturn(w, h int) *imagex.Image {
+	im := imagex.GetImage(w, h) // want "never released"
+	return im                   // want "escapes via return"
+}
+
+// escapesStore parks the pooled pointer in a longer-lived struct; the
+// defer does not make that safe.
+func escapesStore(w, h int, hold *holder) {
+	im := imagex.GetImage(w, h)
+	defer imagex.PutImage(im)
+	hold.ref = im // want "escapes via store"
+}
+
+// escapesLit smuggles the pointer out inside a composite literal.
+func escapesLit(w, h int) holder {
+	im := imagex.GetImage(w, h)
+	defer imagex.PutImage(im)
+	return holder{ref: im} // want "escapes via composite literal" "escapes via return"
+}
+
+// useAfterPut touches the raster after its buffer went back to the
+// pool. Note the indexed read itself copies a byte — only the
+// post-Put access is wrong, not an escape.
+func useAfterPut(w, h int) byte {
+	im := imagex.GetImage(w, h)
+	imagex.PutImage(im)
+	return im.Pix[0] // want "after imagex.PutImage"
+}
+
+// conditionalPut releases only on one branch: the Put does not
+// post-dominate the Get.
+func conditionalPut(w, h int, cond bool) {
+	im := imagex.GetImage(w, h)
+	if cond {
+		imagex.PutImage(im) // want "does not post-dominate"
+	}
+}
+
+// transfer shows the sanctioned suppression path for a deliberate
+// ownership handoff.
+func transfer(w, h int) *imagex.Image {
+	im := imagex.GetImage(w, h) //lint:ignore poolpair fixture demonstrates a documented ownership transfer
+	return im                   //lint:ignore poolpair fixture demonstrates a documented ownership transfer
+}

@@ -1,0 +1,17 @@
+// Package statspkg is the fixture owner of a Stats counter struct:
+// its fields may only be mutated through its own mutex helpers.
+package statspkg
+
+import "sync"
+
+type ServerStats struct {
+	mu   sync.Mutex
+	Hits int
+}
+
+// AddHit is the owning helper: in-package mutation under the mutex.
+func (s *ServerStats) AddHit() {
+	s.mu.Lock()
+	s.Hits++
+	s.mu.Unlock()
+}

@@ -1,0 +1,132 @@
+// Package lintest runs lintx analyzers against fixture packages the
+// way golang.org/x/tools/go/analysis/analysistest does: fixture
+// sources live under testdata/src/<importpath>/, and every expected
+// diagnostic is declared in-line with a trailing comment of the form
+//
+//	// want "regexp"            one expected diagnostic on this line
+//	// want "re1" "re2"         two expected diagnostics on this line
+//
+// A run fails on any diagnostic without a matching want, and on any
+// want without a matching diagnostic, so fixtures pin both the
+// positives and the clean negatives of each analyzer.
+package lintest
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lintx"
+)
+
+// expectation is one want clause: a position plus an unanchored
+// regexp the diagnostic message must match.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+// Run loads the fixture packages and checks the analyzer's
+// diagnostics against their want comments. Suppression directives
+// (//lint:ignore) are honoured, so fixtures can also pin the
+// suppression mechanism itself.
+func Run(t *testing.T, testdata string, a *lintx.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, err := lintx.LoadFixture(testdata, paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = append(wants, collectWants(t, pkg, f)...)
+		}
+	}
+	diags, err := lintx.RunAnalyzers(pkgs, []*lintx.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched want at the diagnostic's position
+// whose regexp matches.
+func claim(wants []*expectation, d lintx.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the want comments of one file.
+func collectWants(t *testing.T, pkg *lintx.Package, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			for _, raw := range splitQuoted(m[1]) {
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted extracts the double-quoted strings of a want clause.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if !strings.HasPrefix(s, `"`) {
+			return out
+		}
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			return out
+		}
+		unq, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			unq = s[1:end]
+		}
+		out = append(out, unq)
+		s = s[end+1:]
+	}
+}

@@ -1,0 +1,215 @@
+// Package lintx is the project's static-analysis substrate: a small,
+// dependency-free reimplementation of the golang.org/x/tools
+// go/analysis surface (Analyzer, Pass, Diagnostic, an analysistest
+// fixture runner) plus a package loader built on `go list` and
+// go/types.
+//
+// The upstream framework is the natural host for these checkers, but
+// this module is deliberately dependency-free (go.mod has no
+// requirements and the build environment is offline), so lintx keeps
+// the same shape — an Analyzer value with a Run func over a Pass —
+// on top of the standard library only. If the module ever grows a
+// vendored x/tools, the analyzers port mechanically: every Pass field
+// here is a subset of analysis.Pass.
+//
+// Suppression: a comment of the form
+//
+//	//lint:ignore <analyzer|all> <reason>
+//
+// on the flagged line, or alone on the line above it, silences the
+// named analyzer at that site. The reason is mandatory — a suppression
+// without a rationale is itself reported. DESIGN.md §10 lists the
+// enforced invariants and when suppressing each is legitimate.
+package lintx
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer so the suite ports
+// mechanically if the dependency ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description: the rule, and why the
+	// project enforces it.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzed package to an Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's syntax, including in-package test
+	// files. External test packages ("foo_test") load as their own
+	// Pass.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. Analyzers whose rules target library code (ctxhygiene's
+// context rule) use it to exempt tests.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// TypeOf is Info.TypeOf with a nil guard, for brevity in analyzers.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// RunAnalyzers applies each analyzer to each package and returns the
+// surviving diagnostics (suppressions applied, malformed suppressions
+// reported) sorted by position. The returned error reflects analyzer
+// runtime failures, not findings. knownNames lists additional valid
+// //lint:ignore targets beyond the analyzers being run, so a
+// filtered run (ewlint -run) does not flag directives naming the
+// analyzers it skipped.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, knownNames ...string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &pkgDiags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		diags = append(diags, applyDirectives(pkg, analyzers, knownNames, pkgDiags)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	analyzer string // analyzer name or "all"
+	reason   string
+	pos      token.Position
+}
+
+// parseDirectives extracts the //lint:ignore directives of one file.
+// Malformed directives (no analyzer, or no reason) come back as
+// diagnostics so a suppression can never silently rot.
+func parseDirectives(fset *token.FileSet, file *ast.File, known map[string]bool) (dirs []directive, malformed []Diagnostic) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(text)
+			if len(fields) < 2 {
+				malformed = append(malformed, Diagnostic{
+					Analyzer: "lintx",
+					Pos:      pos,
+					Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer|all> <reason>\"",
+				})
+				continue
+			}
+			if fields[0] != "all" && !known[fields[0]] {
+				malformed = append(malformed, Diagnostic{
+					Analyzer: "lintx",
+					Pos:      pos,
+					Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q", fields[0]),
+				})
+				continue
+			}
+			dirs = append(dirs, directive{
+				analyzer: fields[0],
+				reason:   strings.Join(fields[1:], " "),
+				pos:      pos,
+			})
+		}
+	}
+	return dirs, malformed
+}
+
+// applyDirectives filters diags through the package's //lint:ignore
+// comments. A directive suppresses matching diagnostics on its own
+// line and on the following line (the directive-above-the-statement
+// form).
+func applyDirectives(pkg *Package, analyzers []*Analyzer, knownNames []string, diags []Diagnostic) []Diagnostic {
+	known := make(map[string]bool, len(analyzers)+len(knownNames))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, n := range knownNames {
+		known[n] = true
+	}
+	// suppressed["file:line"] -> set of analyzer names ("all" matches any).
+	suppressed := make(map[string]map[string]bool)
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		dirs, malformed := parseDirectives(pkg.Fset, f, known)
+		out = append(out, malformed...)
+		for _, d := range dirs {
+			for _, line := range []int{d.pos.Line, d.pos.Line + 1} {
+				key := fmt.Sprintf("%s:%d", d.pos.Filename, line)
+				if suppressed[key] == nil {
+					suppressed[key] = make(map[string]bool)
+				}
+				suppressed[key][d.analyzer] = true
+			}
+		}
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		if s := suppressed[key]; s != nil && (s["all"] || s[d.Analyzer]) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+// Fixture for directive validation: a suppression without a reason or
+// naming an unknown analyzer is itself a finding, and never
+// suppresses anything.
+package dirfix
+
+//lint:ignore
+func missingReason() {}
+
+//lint:ignore nosuchanalyzer some reason
+func unknownAnalyzer() {}
+
+//lint:ignore all fixture demonstrates a valid suppression
+func validSuppression() {}

@@ -87,8 +87,12 @@ func Recognize(im *imagex.Image) Result {
 	if im.W <= 0 || im.H <= 0 {
 		return Result{}
 	}
-	inkMask := binarise(im)
+	// The ink mask is pooled, so this function owns its lifetime:
+	// acquire here, fill via binariseInto, release on every exit
+	// (poolpair forbids pooled rasters crossing function boundaries).
+	inkMask := imagex.GetImage(im.W, im.H)
 	defer imagex.PutImage(inkMask)
+	binariseInto(inkMask, im)
 	ink := inkMask.Pix
 	rowHasInk := make([]bool, im.H)
 	for y := 0; y < im.H; y++ {
@@ -128,16 +132,16 @@ func Recognize(im *imagex.Image) Result {
 	return Result{Glyphs: glyphs, Words: words, Text: text}
 }
 
-func binarise(im *imagex.Image) *imagex.Image {
-	ink := imagex.GetImage(im.W, im.H)
+// binariseInto writes the ink mask of im into the caller-owned dst
+// (same dimensions): 1 where the pixel reads as ink, 0 elsewhere.
+func binariseInto(dst, im *imagex.Image) {
 	for i, p := range im.Pix {
 		if p < inkThreshold {
-			ink.Pix[i] = 1
+			dst.Pix[i] = 1
 		} else {
-			ink.Pix[i] = 0
+			dst.Pix[i] = 0
 		}
 	}
-	return ink
 }
 
 // candidate is a template match before overlap resolution.

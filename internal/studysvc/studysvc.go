@@ -69,6 +69,14 @@ type Config struct {
 	// object the service holds, so the bound trades regeneration time
 	// against steady-state memory.
 	WorldCacheSize int
+	// BaseContext, when set, is the root context of every study and
+	// sweep the service executes. Runs are deliberately detached from
+	// the requesting HTTP context — coalesced requests share one run,
+	// and a cached result outlives every requester — so the natural
+	// scope is the server's lifetime: pass the context that is
+	// cancelled at shutdown and in-flight studies stop with it. Nil
+	// defaults to an un-cancellable background context.
+	BaseContext context.Context
 	// MemoSize bounds the shared artefact memo store in entries
 	// (default 33 ≈ three worlds' node sets; negative disables
 	// sharing). Every run — full or filtered — evaluates through this
@@ -102,6 +110,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MemoSize == 0 {
 		c.MemoSize = 33
+	}
+	if c.BaseContext == nil {
+		// The one place a detached context is the contract: a service
+		// whose caller did not scope it runs studies for the process
+		// lifetime.
+		//lint:ignore ctxhygiene service-lifetime root for callers that set no Config.BaseContext; runs outlive their requesters by design
+		c.BaseContext = context.Background()
 	}
 	return c
 }
@@ -420,9 +435,9 @@ func (s *Service) execute(r *run) {
 		// unvalidated selection.
 		err = rerr
 	} else if len(r.opts.Artefacts) == 0 {
-		res, err = study.Run(context.Background())
+		res, err = study.Run(s.cfg.BaseContext)
 	} else {
-		res, err = study.Compute(context.Background(), r.opts.Artefacts...)
+		res, err = study.Compute(s.cfg.BaseContext, r.opts.Artefacts...)
 		study.Close()
 	}
 	elapsed := time.Since(start)

@@ -99,7 +99,7 @@ func (s *Service) startSweep(name string, cells []sweep.Cell, parallelism int) *
 	go func() {
 		// Cell failures land in the sweep's own error ledger
 		// (fail-soft), so the sweep itself always completes.
-		r.result = sweep.Run(context.Background(), name, cells, serviceBackend{s}, sweep.Options{
+		r.result = sweep.Run(s.cfg.BaseContext, name, cells, serviceBackend{s}, sweep.Options{
 			Parallelism: parallelism,
 			CellTimeout: 10 * time.Minute,
 		})

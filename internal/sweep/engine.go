@@ -51,6 +51,7 @@ type Local struct {
 // RunCell generates (or fetches) the cell's world and runs the full
 // study.
 func (l Local) RunCell(ctx context.Context, c Cell) (CellResult, error) {
+	//lint:ignore determinism CellResult.Elapsed is timing metadata; aggregates and DeepEqual comparisons exclude it
 	start := time.Now()
 	opts := c.Options()
 	var study *core.Study
@@ -126,6 +127,7 @@ func Run(ctx context.Context, name string, cells []Cell, backend Backend, opts O
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = 2
 	}
+	//lint:ignore determinism Result.Elapsed is timing metadata; aggregates and DeepEqual comparisons exclude it
 	start := time.Now()
 	res := &Result{Name: name, Cells: make([]Outcome, len(cells))}
 
