@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet fmt-check lint build test test-race bench-smoke bench-diff bench-baseline bench clean
+.PHONY: verify vet fmt-check lint build test test-race bench-smoke bench-diff bench-baseline bench load-smoke load-slo load-baseline clean
 
 verify: vet lint build test
 
@@ -66,6 +66,44 @@ bench-baseline: bench-smoke
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
+# SLO load smoke: boot a small ewserve in the background (loopback
+# 1808x ports so a dev server on the defaults is undisturbed), drive a
+# short target-RPS window at it with `ewsweep -load` (which waits for
+# readiness itself) and write the resulting latency/shed artifact. The
+# server log lands in ewserve_load.log for post-mortems.
+LOAD_RPS ?= 30
+LOAD_DURATION ?= 5s
+load-smoke:
+	$(GO) build -o ewserve_load_bin ./cmd/ewserve
+	./ewserve_load_bin -seed 2019 -scale 0.01 \
+		-hosting 127.0.0.1:18081 -reverse 127.0.0.1:18082 \
+		-wayback 127.0.0.1:18083 -study 127.0.0.1:18084 \
+		2> ewserve_load.log & \
+	SRV=$$!; trap 'kill $$SRV 2>/dev/null' EXIT; \
+	$(GO) run ./cmd/ewsweep -remote http://127.0.0.1:18084 -load \
+		-rps $(LOAD_RPS) -duration $(LOAD_DURATION) -scale 0.01 \
+		-bench-out BENCH_load.fresh.json
+
+# SLO gate: the fresh load artifact must stay within LOAD_TOLERANCE of
+# the committed BENCH_load.json. The baseline is deliberately trimmed
+# to the SLO terms — LoadStudyP95 (relative gate on p95 latency) and
+# LoadStudyShed's shed_rate extra (its committed value is a budget, so
+# the relative gate bounds the shed fraction absolutely) — while the
+# fresh artifact's p50/p99 entries ride along ungated, for trend
+# reading. Load percentiles are far noisier than microbenchmark ns/op,
+# hence the wider default tolerance.
+LOAD_TOLERANCE ?= 1.50
+load-slo: load-smoke
+	$(GO) run ./cmd/benchjson -diff -baseline BENCH_load.json -in BENCH_load.fresh.json -tolerance $(LOAD_TOLERANCE)
+
+# Refresh the committed SLO baseline's p95 from a fresh smoke run.
+# Deliberately NOT a straight copy: keep BENCH_load.json's structure
+# (p95 + shed budget only) — update the ns_per_op by hand or re-trim.
+load-baseline: load-smoke
+	@echo "BENCH_load.fresh.json written; update BENCH_load.json's LoadStudyP95 ns_per_op from it,"
+	@echo "keeping only the LoadStudyP95 and LoadStudyShed entries (the shed_rate value is the budget)."
+
 clean:
 	rm -f bench_pipeline.txt bench_sweep.txt bench_artefact.txt \
-		BENCH_pipeline.fresh.json BENCH_sweep.fresh.json BENCH_artefact.fresh.json
+		BENCH_pipeline.fresh.json BENCH_sweep.fresh.json BENCH_artefact.fresh.json \
+		BENCH_load.fresh.json ewserve_load.log ewserve_load_bin

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -147,6 +148,14 @@ func load(r io.Reader) (*Artifact, error) {
 // more than the tolerance fraction, or when it exists in the baseline
 // but not in the current run (a silently-dropped benchmark must not
 // pass). Benchmarks new in the current run are reported, not failed.
+//
+// Extra units present in the baseline are gated too: a unit missing
+// from the current run fails (a dropped metric must not pass), a
+// positive baseline value is held to the same relative tolerance as
+// ns/op, and a zero baseline value is held absolutely (current may not
+// exceed the tolerance itself — the shed_rate gate: baseline 0 means
+// "a shed rate above the tolerance fraction is a regression"). All
+// gates are one-sided; improvements always pass.
 func diffArtifacts(base, cur *Artifact, tolerance float64) (string, bool) {
 	curBy := make(map[string]Benchmark, len(cur.Benchmarks))
 	for _, b := range cur.Benchmarks {
@@ -177,6 +186,38 @@ func diffArtifacts(base, cur *Artifact, tolerance float64) (string, bool) {
 		}
 		fmt.Fprintf(&sb, "%-28s %15.0f %15.0f %+8.1f%%  %s\n",
 			b.Name, b.NsPerOp, c.NsPerOp, delta*100, verdict)
+		for _, unit := range sortedUnits(b.Extra) {
+			bv := b.Extra[unit]
+			label := b.Name + " " + unit
+			cv, ok := c.Extra[unit]
+			if !ok {
+				failed = true
+				fmt.Fprintf(&sb, "%-28s %15g %15s %9s  FAIL (unit missing from current run)\n",
+					label, bv, "-", "-")
+				continue
+			}
+			verdict := "ok"
+			switch {
+			case bv > 0:
+				// Relative gate, same shape as ns/op.
+				delta := (cv - bv) / bv
+				if delta > tolerance {
+					failed = true
+					verdict = fmt.Sprintf("FAIL (> %+.0f%% tolerance)", tolerance*100)
+				}
+				fmt.Fprintf(&sb, "%-28s %15g %15g %+8.1f%%  %s\n",
+					label, bv, cv, delta*100, verdict)
+			default:
+				// Zero baseline: no relative scale exists, so the
+				// tolerance itself is the absolute ceiling.
+				if cv > tolerance {
+					failed = true
+					verdict = fmt.Sprintf("FAIL (> %g absolute ceiling)", tolerance)
+				}
+				fmt.Fprintf(&sb, "%-28s %15g %15g %9s  %s\n",
+					label, bv, cv, "-", verdict)
+			}
+		}
 	}
 	for _, c := range cur.Benchmarks {
 		if !baseSeen[c.Name] {
@@ -190,6 +231,17 @@ func diffArtifacts(base, cur *Artifact, tolerance float64) (string, bool) {
 		fmt.Fprintf(&sb, "benchmark regression gate passed (tolerance %.0f%%)\n", tolerance*100)
 	}
 	return sb.String(), failed
+}
+
+// sortedUnits returns the extra-unit names in deterministic order, so
+// the diff report (and its failure lines) are byte-stable run to run.
+func sortedUnits(extra map[string]float64) []string {
+	units := make([]string, 0, len(extra))
+	for u := range extra {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
 }
 
 func fatal(err error) {

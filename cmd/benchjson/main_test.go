@@ -136,3 +136,66 @@ func TestDiffImprovementPasses(t *testing.T) {
 		t.Fatalf("a 10x improvement failed the gate:\n%s", report)
 	}
 }
+
+func withExtra(a *Artifact, name string, extra map[string]float64) *Artifact {
+	for i := range a.Benchmarks {
+		if a.Benchmarks[i].Name == name {
+			a.Benchmarks[i].Extra = extra
+		}
+	}
+	return a
+}
+
+func TestDiffExtraRelativeGate(t *testing.T) {
+	base := withExtra(art("Shed", 100.0), "Shed", map[string]float64{"shed_rate": 0.10})
+	cur := withExtra(art("Shed", 100.0), "Shed", map[string]float64{"shed_rate": 0.12})
+	if report, failed := diffArtifacts(base, cur, 0.30); failed {
+		t.Fatalf("+20%% extra failed a 30%% gate:\n%s", report)
+	}
+	cur = withExtra(art("Shed", 100.0), "Shed", map[string]float64{"shed_rate": 0.14})
+	report, failed := diffArtifacts(base, cur, 0.30)
+	if !failed {
+		t.Fatalf("+40%% extra passed a 30%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "shed_rate") || !strings.Contains(report, "FAIL") {
+		t.Errorf("report missing extra failure line:\n%s", report)
+	}
+}
+
+func TestDiffExtraZeroBaselineAbsoluteGate(t *testing.T) {
+	base := withExtra(art("Shed", 100.0), "Shed", map[string]float64{"shed_rate": 0})
+	// Below the tolerance: no relative scale from zero, so the
+	// tolerance is the absolute ceiling.
+	cur := withExtra(art("Shed", 100.0), "Shed", map[string]float64{"shed_rate": 0.25})
+	if report, failed := diffArtifacts(base, cur, 0.30); failed {
+		t.Fatalf("extra under the absolute ceiling failed:\n%s", report)
+	}
+	cur = withExtra(art("Shed", 100.0), "Shed", map[string]float64{"shed_rate": 0.31})
+	report, failed := diffArtifacts(base, cur, 0.30)
+	if !failed {
+		t.Fatalf("extra over the absolute ceiling passed:\n%s", report)
+	}
+	if !strings.Contains(report, "absolute ceiling") {
+		t.Errorf("report missing absolute-ceiling marker:\n%s", report)
+	}
+}
+
+func TestDiffExtraMissingUnitFails(t *testing.T) {
+	base := withExtra(art("Shed", 100.0), "Shed", map[string]float64{"shed_rate": 0.10})
+	cur := art("Shed", 100.0)
+	report, failed := diffArtifacts(base, cur, 0.30)
+	if !failed {
+		t.Fatalf("dropped extra unit passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "unit missing from current run") {
+		t.Errorf("report missing dropped-unit marker:\n%s", report)
+	}
+}
+
+func TestDiffExtraImprovementPasses(t *testing.T) {
+	base := withExtra(art("Shed", 100.0), "Shed", map[string]float64{"shed_rate": 0.50})
+	cur := withExtra(art("Shed", 100.0), "Shed", map[string]float64{"shed_rate": 0})
+	if report, failed := diffArtifacts(base, cur, 0.30); failed {
+		t.Fatalf("extra improvement failed the gate:\n%s", report)
+	}
+}

@@ -11,13 +11,23 @@
 //	ewserve [-seed N] [-scale F]
 //	        [-hosting :8081] [-reverse :8082] [-wayback :8083] [-study :8084]
 //	        [-study-runs N] [-study-cache N] [-study-max-scale F]
+//	        [-study-queue N] [-study-queue-wait 2s]
+//	        [-log-level info] [-pprof 127.0.0.1:6060]
 //	        [-shutdown-timeout 10s]
+//
+// All operational output is JSON lines on stderr (internal/logx): one
+// line per request with its request ID and latency, one per study run,
+// and the usual lifecycle events — greppable and machine-tailable.
+// -log-level debug adds per-artefact-node memo traces. -pprof mounts
+// net/http/pprof on a separate loopback address for live profiling.
 //
 // Lifecycle: all listeners are opened before anything serves, so a bad
 // address fails the process immediately. A failed server tears the
 // whole process down cleanly through the error group. On SIGINT or
 // SIGTERM every server gets a graceful shutdown bounded by
-// -shutdown-timeout; a second signal kills the process immediately.
+// -shutdown-timeout — logging any still-open study requests by ID so
+// an operator can tell what a slow shutdown is waiting on; a second
+// signal kills the process immediately.
 package main
 
 import (
@@ -26,11 +36,13 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/logx"
 	"repro/internal/pipeline"
 	"repro/internal/reverse"
 	"repro/internal/studysvc"
@@ -49,13 +61,26 @@ func main() {
 	studyCache := flag.Int("study-cache", 16, "study result cache size (LRU)")
 	studyMaxScale := flag.Float64("study-max-scale", 0.25, "largest scale the study service accepts")
 	studySweepCells := flag.Int("study-sweep-cells", 64, "largest sweep (in cells) the study service accepts")
+	studyQueue := flag.Int("study-queue", 0, "admission queue depth before shedding (0 = 2×study-runs, negative disables queueing)")
+	studyQueueWait := flag.Duration("study-queue-wait", 0, "longest a queued request waits for a run slot before shedding (0 = default)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info or error")
+	pprofAddr := flag.String("pprof", "", "mount net/http/pprof on this address (empty disables)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown deadline")
 	flag.Parse()
 
+	level, err := logx.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ewserve:", err)
+		os.Exit(1)
+	}
+	lg := logx.New(os.Stderr, level).With("service", "ewserve")
+
 	start := time.Now()
 	w := synth.Generate(synth.Config{Seed: *seed, Scale: *scale})
-	fmt.Printf("world ready in %v (%d reverse records, %d archived URLs)\n",
-		time.Since(start).Round(time.Millisecond), w.Reverse.Len(), w.Wayback.NumURLs())
+	lg.Info("world ready",
+		"elapsed_ms", time.Since(start).Milliseconds(),
+		"seed", *seed, "scale", *scale,
+		"reverse_records", w.Reverse.Len(), "archived_urls", w.Wayback.NumURLs())
 
 	// The signal context is the whole process's root: servers stop on
 	// it, and the study service receives it as BaseContext so
@@ -74,15 +99,33 @@ func main() {
 		{"reverse", *reverseAddr, reverse.Handler(w.Reverse)},
 		{"wayback", *waybackAddr, wayback.Handler(w.Wayback)},
 	}
+	// svc outlives the loop so the shutdown watcher can report which
+	// study requests are still open when the deadline starts ticking.
+	var svc *studysvc.Service
 	if *studyAddr != "" {
-		svc := studysvc.New(studysvc.Config{
+		svc = studysvc.New(studysvc.Config{
 			MaxConcurrentRuns: *studyRuns,
 			CacheSize:         *studyCache,
 			MaxScale:          *studyMaxScale,
 			MaxSweepCells:     *studySweepCells,
+			MaxQueueDepth:     *studyQueue,
+			MaxQueueWait:      *studyQueueWait,
 			BaseContext:       ctx,
+			Logger:            lg.With("component", "studysvc"),
 		})
 		services = append(services, service{"study", *studyAddr, svc.Handler()})
+	}
+	if *pprofAddr != "" {
+		// Mount the pprof handlers explicitly rather than importing for
+		// side effects: the profiling surface stays off the study and
+		// substrate listeners and exists only when asked for.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		services = append(services, service{"pprof", *pprofAddr, mux})
 	}
 
 	// Open every listener before serving anything: a bad address fails
@@ -92,7 +135,7 @@ func main() {
 	for _, s := range services {
 		ln, err := net.Listen("tcp", s.addr)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ewserve: %s: %v\n", s.name, err)
+			lg.Error("listen failed", "server", s.name, "addr", s.addr, "err", err.Error())
 			for _, open := range listeners {
 				_ = open.Close() // best-effort cleanup on the exit path
 			}
@@ -100,7 +143,7 @@ func main() {
 		}
 		listeners = append(listeners, ln)
 		servers = append(servers, &http.Server{Handler: s.h, ReadHeaderTimeout: 5 * time.Second})
-		fmt.Printf("%s listening on http://%s\n", s.name, ln.Addr())
+		lg.Info("listening", "server", s.name, "url", "http://"+ln.Addr().String())
 	}
 
 	g, gctx := pipeline.NewErrGroup(ctx)
@@ -120,7 +163,14 @@ func main() {
 		// Restore default signal handling: a second Ctrl-C now kills
 		// the process immediately instead of being swallowed.
 		stop()
-		fmt.Println("\nshutting down...")
+		if svc != nil {
+			// Name what a slow shutdown is waiting on: the request IDs
+			// still open when the deadline starts ticking.
+			open := svc.InFlightRequests()
+			lg.Info("shutting down", "open_requests", len(open), "requests", open)
+		} else {
+			lg.Info("shutting down")
+		}
 		shctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		var firstErr error
@@ -132,16 +182,15 @@ func main() {
 		return firstErr
 	})
 
-	fmt.Println("example: curl http://" + *hostingAddr + "/imgur.com/landing")
-	if *studyAddr != "" {
-		fmt.Printf("example: curl -X POST http://%s/v1/study -d '{\"seed\":2019,\"scale\":0.02}'\n", *studyAddr)
-		fmt.Printf("example: go run ./cmd/ewsweep -remote http://%s -preset cross-seed-stability -seeds 10 -scale 0.05\n", *studyAddr)
-	}
-	fmt.Println("Ctrl-C to stop (twice to force)")
+	lg.Info("ready",
+		"example_curl", "curl http://"+*hostingAddr+"/imgur.com/landing",
+		"example_study", fmt.Sprintf("curl -X POST http://%s/v1/study -d '{\"seed\":2019,\"scale\":0.02}'", *studyAddr),
+		"example_stats", "curl http://"+*studyAddr+"/v1/stats",
+		"stop", "Ctrl-C (twice to force)")
 
 	if err := g.Wait(); err != nil {
-		fmt.Fprintln(os.Stderr, "ewserve:", err)
+		lg.Error("server failed", "err", err.Error())
 		os.Exit(1)
 	}
-	fmt.Println("all servers stopped")
+	lg.Info("all servers stopped")
 }

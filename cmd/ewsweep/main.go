@@ -18,6 +18,12 @@
 // to the local run. -server instead submits the whole spec to the
 // service's POST /v1/sweep and lets it fan out server-side.
 //
+// -load promotes the remote mode into the SLO harness: instead of a
+// sweep grid it drives a target request rate for a fixed duration and
+// reports latency percentiles, achieved throughput and the service's
+// shed rate, optionally as a benchjson artifact (-bench-out) that the
+// CI load-slo job diffs against the committed BENCH_load.json.
+//
 // Usage:
 //
 //	ewsweep -preset cross-seed-stability -seeds 10 -scale 0.05
@@ -25,6 +31,7 @@
 //	ewsweep -preset crawler-concurrency -seeds 2 -scale 0.02
 //	ewsweep -remote http://127.0.0.1:8084 -preset cross-seed-stability -seeds 10 -scale 0.05
 //	ewsweep -remote http://127.0.0.1:8084 -server -preset scale-sensitivity -json
+//	ewsweep -remote http://127.0.0.1:8084 -load -rps 20 -duration 5s -bench-out BENCH_load.fresh.json
 package main
 
 import (
@@ -38,6 +45,8 @@ import (
 	"time"
 
 	"repro/internal/artefact"
+	"repro/internal/cliutil"
+	"repro/internal/loadgen"
 	"repro/internal/report"
 	"repro/internal/studysvc"
 	"repro/internal/sweep"
@@ -60,10 +69,29 @@ func main() {
 	server := flag.Bool("server", false, "with -remote: run the sweep server-side via POST /v1/sweep")
 	jsonOut := flag.Bool("json", false, "emit the full sweep result as JSON")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines")
+	load := flag.Bool("load", false, "with -remote: drive target-RPS load instead of a sweep and measure latency/shed SLOs")
+	rps := flag.Float64("rps", 20, "with -load: target request rate")
+	duration := flag.Duration("duration", 5*time.Second, "with -load: how long to drive")
+	loadSeeds := flag.Int("load-seeds", 4, "with -load: distinct world seeds cycled through")
+	loadConcurrency := flag.Int("load-concurrency", 0, "with -load: max in-flight requests (0 = 2×rps)")
+	benchOut := flag.String("bench-out", "", "with -load: write the result as a benchjson artifact to this file")
+	readyTimeout := flag.Duration("ready-timeout", 15*time.Second, "with -load: how long to wait for the service to answer /v1/stats")
 	flag.Parse()
 
 	if *server && *remote == "" {
 		fatalf("-server requires -remote (the service that runs the sweep)")
+	}
+	if *load {
+		if *remote == "" {
+			fatalf("-load requires -remote (the live service to drive)")
+		}
+		runLoad(loadParams{
+			remote: *remote, rps: *rps, duration: *duration,
+			seeds: *loadSeeds, concurrency: *loadConcurrency,
+			seed: *seed, scale: *scale, annotation: *annotation,
+			benchOut: *benchOut, readyTimeout: *readyTimeout, jsonOut: *jsonOut,
+		})
+		return
 	}
 
 	spec := sweep.Spec{
@@ -168,6 +196,73 @@ func main() {
 	// A partially-failed sweep is a failure in every output mode: the
 	// ledger (text or JSON) has the details, the exit code the verdict.
 	if len(res.Errors) > 0 {
+		os.Exit(1)
+	}
+}
+
+// loadParams collects the -load flag set.
+type loadParams struct {
+	remote       string
+	rps          float64
+	duration     time.Duration
+	seeds        int
+	concurrency  int
+	seed         uint64
+	scale        float64
+	annotation   int
+	benchOut     string
+	readyTimeout time.Duration
+	jsonOut      bool
+}
+
+// runLoad is the -load mode: wait for the service, drive target RPS
+// through internal/loadgen, print the SLO summary and (optionally)
+// write the benchjson artifact the load-slo CI gate diffs against
+// BENCH_load.json. Shed requests are the admission control working as
+// designed; only transport or run failures exit nonzero.
+func runLoad(p loadParams) {
+	ctx := context.Background()
+	if err := cliutil.WaitReady(ctx, p.remote, p.readyTimeout); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "==> load: %.0f rps for %v against %s (%d seeds, scale %g)\n",
+		p.rps, p.duration, p.remote, p.seeds, p.scale)
+	res, err := loadgen.Run(ctx, studysvc.NewClient(p.remote, nil), loadgen.Spec{
+		TargetRPS:      p.rps,
+		Duration:       p.duration,
+		Concurrency:    p.concurrency,
+		Seeds:          p.seeds,
+		Seed:           p.seed,
+		Scale:          p.scale,
+		AnnotationSize: p.annotation,
+		Warmup:         true,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if p.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		fmt.Println(res)
+	}
+	if p.benchOut != "" {
+		data, err := res.BenchArtifact()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(p.benchOut, data, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", p.benchOut)
+	}
+	if res.Errors > 0 {
+		for _, e := range res.ErrorSamples {
+			fmt.Fprintf(os.Stderr, "ewsweep: load error: %s\n", e)
+		}
 		os.Exit(1)
 	}
 }

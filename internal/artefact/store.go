@@ -4,6 +4,8 @@ import (
 	"context"
 	"strings"
 	"sync"
+
+	"repro/internal/logx"
 )
 
 // DefaultStoreSize bounds a Store created with no explicit limit.
@@ -64,10 +66,15 @@ func NewStore(max int) *Store {
 // waiting on its in-flight nodes. Only the waiter's own cancellation
 // ends its attempt.
 func (s *Store) resolve(ctx context.Context, node, key string, fn func() (any, error)) (val any, memoized bool, err error) {
+	// The context logger (when the caller bound one — the study
+	// service's request/run ids arrive this way) sees every memo
+	// outcome at debug level.
+	lg := logx.FromContext(ctx)
 	if key == "" {
 		s.mu.Lock()
 		s.computes[node]++
 		s.mu.Unlock()
+		lg.Debug("memo bypass", "node", node)
 		v, err := fn()
 		return v, false, err
 	}
@@ -97,6 +104,7 @@ func (s *Store) resolve(ctx context.Context, node, key string, fn func() (any, e
 			s.mu.Lock()
 			s.hits++
 			s.mu.Unlock()
+			lg.Debug("memo hit", "node", node)
 			return cur.val, true, nil
 		}
 		// The creator failed and already dropped its entry; loop and
@@ -106,6 +114,7 @@ func (s *Store) resolve(ctx context.Context, node, key string, fn func() (any, e
 		}
 	}
 
+	lg.Debug("memo compute", "node", node)
 	e.val, e.err = fn()
 	if e.err != nil {
 		// Never memoize failure: drop the entry (waiters already hold

@@ -1,12 +1,15 @@
 // Package cliutil holds the small helpers the command-line tools
 // share: remote-study submission (ewpipeline -remote and ewreport
-// -remote route through the same client path) and -only list parsing.
+// -remote route through the same client path), -only list parsing and
+// service readiness polling (ewsweep -load waits for a booting
+// ewserve before driving it).
 package cliutil
 
 import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/studysvc"
 )
@@ -36,4 +39,26 @@ func RunRemote(ctx context.Context, baseURL string, req studysvc.Request) (*stud
 		return nil, fmt.Errorf("run %s %s: %s", env.ID, env.Status, env.Error)
 	}
 	return env, nil
+}
+
+// WaitReady polls the study service's /v1/stats until it answers or
+// the timeout elapses — the boot barrier scripts use between starting
+// an ewserve in the background and driving load at it.
+func WaitReady(ctx context.Context, baseURL string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	c := studysvc.NewClient(baseURL, nil)
+	var lastErr error
+	t := time.NewTicker(100 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if _, lastErr = c.Stats(ctx); lastErr == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("service at %s not ready after %v: %w", baseURL, timeout, lastErr)
+		case <-t.C:
+		}
+	}
 }

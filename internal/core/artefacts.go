@@ -22,6 +22,7 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/earnings"
 	"repro/internal/forum"
+	"repro/internal/logx"
 	"repro/internal/nsfv"
 	"repro/internal/photodna"
 	"repro/internal/pipeline"
@@ -418,12 +419,18 @@ func (s *Study) Compute(ctx context.Context, names ...string) (*Results, error) 
 // Run or Compute ask for it.
 func (s *Study) evaluate(ctx context.Context, arts []string) (map[string]any, error) {
 	st := s.stats
+	lg := logx.FromContext(ctx)
 	opts := artefact.EvalOptions{Observe: func(ev artefact.Event) {
 		busy := ev.Wall
 		if ev.Memoized {
 			busy = 0 // the value came from memo; nothing was computed
 		}
 		st.Record("node "+ev.Node, 1, 1, 1, ev.Wall, busy)
+		// The context logger carries the request/run ids the service
+		// bound upstream, so each node event logs under the request
+		// that caused it (no-op when no logger is bound).
+		lg.Debug("artefact node",
+			"node", ev.Node, "memoized", ev.Memoized, "wall_ms", ev.Wall.Milliseconds())
 	}}
 	store := s.memo
 	if store == nil {

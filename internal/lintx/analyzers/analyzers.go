@@ -1,7 +1,7 @@
-// Package analyzers holds the project's invariant checkers: the four
-// ewlint analyzers that mechanize the determinism, pooling, memo-key
-// and context-hygiene rules the codebase previously enforced only by
-// convention (see DESIGN.md §10).
+// Package analyzers holds the project's invariant checkers: the five
+// ewlint analyzers that mechanize the determinism, pooling, memo-key,
+// context-hygiene and structured-logging rules the codebase previously
+// enforced only by convention (see DESIGN.md §10).
 package analyzers
 
 import (
@@ -19,6 +19,7 @@ func All() []*lintx.Analyzer {
 		PoolPair,
 		MemoKey,
 		CtxHygiene,
+		LogField,
 	}
 }
 

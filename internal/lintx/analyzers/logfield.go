@@ -1,0 +1,84 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/lintx"
+)
+
+// LogField keeps the service spine's operational output structured: in
+// internal/studysvc and cmd/ewserve, every log line is a logx JSON
+// record with a request or run ID — a raw fmt.Print*/log.Print* there
+// bypasses the logger, loses the IDs, and tears a hole in what an
+// operator can grep. The ban covers the stdout/stderr convenience
+// printers only; fmt.Fprintf to an explicit writer stays legal (it is
+// how CLIs in other packages talk to users, and how logx itself is
+// built), as does everything in test files.
+var LogField = &lintx.Analyzer{
+	Name: "logfield",
+	Doc:  "studysvc and ewserve must log through logx, not raw fmt/log printers",
+	Run:  runLogField,
+}
+
+// logFieldPackages are the [penultimate, last] import-path segment
+// pairs the rule applies to: the service spine, where structured
+// request-scoped logging is the contract.
+var logFieldPackages = [][2]string{
+	{"internal", "studysvc"},
+	{"cmd", "ewserve"},
+}
+
+// bannedPrinters maps package name → the package-level printers that
+// write to stdout/stderr implicitly. fmt's F-variants take a writer
+// and are deliberately absent.
+var bannedPrinters = map[string][]string{
+	"fmt": {"Print", "Printf", "Println"},
+	"log": {"Print", "Printf", "Println", "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln"},
+}
+
+func runLogField(pass *lintx.Pass) error {
+	segs := pathSegments(pass.Pkg.Path())
+	if len(segs) < 2 {
+		return nil
+	}
+	tail := [2]string{segs[len(segs)-2], segs[len(segs)-1]}
+	applies := false
+	for _, want := range logFieldPackages {
+		if tail == want {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			names, banned := bannedPrinters[fn.Pkg().Name()]
+			if !banned {
+				return true
+			}
+			for _, name := range names {
+				if fn.Name() == name && isPkgFunc(pass.Info, call, fn.Pkg().Name(), name) {
+					pass.Reportf(call.Pos(), "%s.%s in %s: log through logx so the line carries the request ID and JSON structure",
+						fn.Pkg().Name(), fn.Name(), strings.Join(tail[:], "/"))
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

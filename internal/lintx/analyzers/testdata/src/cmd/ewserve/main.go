@@ -1,0 +1,15 @@
+// Fixture: ewserve is the operational binary — its output is the ops
+// log, so it must be logx JSON lines, not bare prints.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	fmt.Println("listening") // want "fmt.Println in cmd/ewserve"
+	log.Println("ready")     // want "log.Println in cmd/ewserve"
+	fmt.Fprintln(os.Stderr, "explicit writer is fine")
+}

@@ -1,0 +1,12 @@
+package studysvc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Tests are exempt: t.Log is structured enough for a test, and debug
+// prints in tests never reach an operator.
+func TestPrintAllowed(t *testing.T) {
+	fmt.Println("tests may print")
+}

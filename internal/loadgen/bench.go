@@ -1,0 +1,65 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The benchjson artifact bridge: a load result rendered in the same
+// JSON schema cmd/benchjson emits for `go test -bench` runs, so
+// `benchjson -diff` gates load SLOs exactly the way it gates ns/op —
+// committed BENCH_load.json baseline, fresh artifact per run, relative
+// tolerance on latency, absolute tolerance on the shed-rate extra.
+
+// benchEntry mirrors cmd/benchjson's Benchmark wire shape.
+type benchEntry struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+	Raw        string             `json:"raw"`
+}
+
+// benchArtifact mirrors cmd/benchjson's Artifact wire shape.
+type benchArtifact struct {
+	Pkg        string       `json:"pkg,omitempty"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// BenchArtifact renders the result as a benchjson-schema artifact:
+// one pseudo-benchmark per latency percentile (ns_per_op = the
+// percentile, so the existing relative-tolerance gate applies
+// unchanged) plus a LoadStudyShed entry whose shed_rate extra the
+// extended extras gate bounds absolutely. Iterations carries the
+// successful request count — the evidence the percentiles rest on.
+func (r *Result) BenchArtifact() ([]byte, error) {
+	entry := func(name string, msVal float64, extra map[string]float64) benchEntry {
+		ns := msVal * 1e6
+		return benchEntry{
+			Name:       name,
+			Procs:      1,
+			Iterations: int64(r.OK),
+			NsPerOp:    ns,
+			Extra:      extra,
+			Raw:        fmt.Sprintf("Benchmark%s \t%8d\t%12.0f ns/op", name, r.OK, ns),
+		}
+	}
+	art := benchArtifact{
+		Pkg: "repro/internal/loadgen",
+		Benchmarks: []benchEntry{
+			entry("LoadStudyP50", r.P50MS, nil),
+			entry("LoadStudyP95", r.P95MS, nil),
+			entry("LoadStudyP99", r.P99MS, nil),
+			entry("LoadStudyShed", 0, map[string]float64{
+				"shed_rate": r.ShedRate,
+				"rps":       r.AchievedRPS,
+			}),
+		},
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,141 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/studysvc"
+)
+
+// stubService fakes POST /v1/study: every shedEvery-th request is
+// rejected 429 + Retry-After, the rest complete instantly.
+func stubService(t *testing.T, shedEvery int64) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var n atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/study", func(w http.ResponseWriter, req *http.Request) {
+		i := n.Add(1)
+		if shedEvery > 0 && i%shedEvery == 0 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "study pool saturated"})
+			return
+		}
+		var r studysvc.Request
+		_ = json.NewDecoder(req.Body).Decode(&r)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(studysvc.Envelope{
+			ID: "s-1", Status: studysvc.StatusDone, Cached: i%2 == 0,
+			Summary: &studysvc.Summary{},
+		})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &n
+}
+
+func TestRunCountsOutcomes(t *testing.T) {
+	srv, _ := stubService(t, 3) // every 3rd request shed
+	client := studysvc.NewClient(srv.URL, nil)
+	res, err := Run(context.Background(), client, Spec{
+		TargetRPS: 400,
+		Duration:  300 * time.Millisecond,
+		Seeds:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests < 10 {
+		t.Fatalf("too few requests driven: %+v", res)
+	}
+	if res.OK == 0 || res.Shed == 0 {
+		t.Fatalf("expected both ok and shed outcomes: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("unexpected errors: %+v", res)
+	}
+	if res.Requests != res.OK+res.Shed {
+		t.Fatalf("requests %d != ok %d + shed %d", res.Requests, res.OK, res.Shed)
+	}
+	wantRate := float64(res.Shed) / float64(res.OK+res.Shed)
+	if res.ShedRate != wantRate {
+		t.Fatalf("shed rate %g, want %g", res.ShedRate, wantRate)
+	}
+	if !(res.P50MS <= res.P95MS && res.P95MS <= res.P99MS && res.P99MS <= res.MaxMS) {
+		t.Fatalf("percentiles out of order: %+v", res)
+	}
+	if res.AchievedRPS <= 0 {
+		t.Fatalf("achieved rps not reported: %+v", res)
+	}
+}
+
+func TestRunNoShedServer(t *testing.T) {
+	srv, _ := stubService(t, 0)
+	client := studysvc.NewClient(srv.URL, nil)
+	res, err := Run(context.Background(), client, Spec{
+		TargetRPS: 300,
+		Duration:  200 * time.Millisecond,
+		Warmup:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed != 0 || res.ShedRate != 0 {
+		t.Fatalf("clean server reported sheds: %+v", res)
+	}
+	if res.CacheHits == 0 {
+		t.Fatalf("stub alternates cached envelopes; none observed: %+v", res)
+	}
+}
+
+func TestRunValidatesSpec(t *testing.T) {
+	client := studysvc.NewClient("http://127.0.0.1:0", nil)
+	if _, err := Run(context.Background(), client, Spec{Duration: time.Second}); err == nil {
+		t.Fatal("missing TargetRPS accepted")
+	}
+	if _, err := Run(context.Background(), client, Spec{TargetRPS: 1}); err == nil {
+		t.Fatal("missing Duration accepted")
+	}
+}
+
+func TestBenchArtifactShape(t *testing.T) {
+	res := &Result{OK: 90, Shed: 10, ShedRate: 0.1, P50MS: 2, P95MS: 8, P99MS: 20, AchievedRPS: 50}
+	data, err := res.BenchArtifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		Benchmarks []struct {
+			Name       string             `json:"name"`
+			Iterations int64              `json:"iterations"`
+			NsPerOp    float64            `json:"ns_per_op"`
+			Extra      map[string]float64 `json:"extra"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact not valid JSON: %v\n%s", err, data)
+	}
+	byName := map[string]int{}
+	for i, b := range art.Benchmarks {
+		byName[b.Name] = i
+	}
+	for _, name := range []string{"LoadStudyP50", "LoadStudyP95", "LoadStudyP99", "LoadStudyShed"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("artifact missing %s: %s", name, data)
+		}
+	}
+	p95 := art.Benchmarks[byName["LoadStudyP95"]]
+	if p95.NsPerOp != 8e6 || p95.Iterations != 90 {
+		t.Fatalf("p95 entry wrong: %+v", p95)
+	}
+	shed := art.Benchmarks[byName["LoadStudyShed"]]
+	if shed.Extra["shed_rate"] != 0.1 {
+		t.Fatalf("shed extra wrong: %+v", shed)
+	}
+}

@@ -1,0 +1,21 @@
+package logx
+
+import "context"
+
+// ctxKey is the private context key for the bound logger.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying lg. Passing the returned context
+// down a call chain gives every layer the caller's logger — and its
+// accumulated fields, like the request id — without any signature
+// changes below the seam that binds it.
+func NewContext(ctx context.Context, lg *Logger) context.Context {
+	return context.WithValue(ctx, ctxKey{}, lg)
+}
+
+// FromContext returns the logger bound to ctx, or nil (the no-op
+// logger) when none is. Callers log unconditionally on the result.
+func FromContext(ctx context.Context) *Logger {
+	lg, _ := ctx.Value(ctxKey{}).(*Logger)
+	return lg
+}

@@ -1,0 +1,171 @@
+// Package logx is the service spine's structured logger: one JSON
+// object per line, deterministic field order, explicit levels and
+// context plumbing. A request id attached at the HTTP edge travels in
+// the context through studysvc → core.Study.Compute → artefact.Store,
+// so every artefact-node computation and memo lookup a request causes
+// carries the id that caused it.
+//
+// The design constraints, in order:
+//
+//   - a nil *Logger is a complete no-op (With, Debug, Info, Error all
+//     safe), so library code logs unconditionally and pays nothing
+//     when no logger is configured;
+//   - field order is deterministic — ts, level, msg, then With fields
+//     in attach order, then call-site pairs in argument order — so
+//     lines diff and grep cleanly;
+//   - one line is one write: concurrent loggers sharing a sink never
+//     interleave mid-line.
+package logx
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Level orders log severities. The zero value is LevelInfo, so a
+// zero-configured logger defaults to the production level.
+type Level int8
+
+const (
+	LevelDebug Level = iota - 1
+	LevelInfo
+	LevelError
+)
+
+// String returns the level's wire name.
+func (l Level) String() string {
+	switch {
+	case l <= LevelDebug:
+		return "debug"
+	case l >= LevelError:
+		return "error"
+	default:
+		return "info"
+	}
+}
+
+// ParseLevel maps a flag value ("debug", "info", "error") to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("logx: unknown level %q (debug, info, error)", s)
+}
+
+// Field is one bound key/value pair.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// sink serializes writes so a line is never interleaved. All loggers
+// derived from one New share the sink.
+type sink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// Logger emits JSON log lines at or above its minimum level. The
+// zero-value pointer (nil) is a valid no-op logger.
+type Logger struct {
+	out    *sink
+	min    Level
+	fields []Field
+	// now is the clock; tests pin it for byte-stable output.
+	now func() time.Time
+}
+
+// New returns a logger writing one JSON line per event to w, dropping
+// events below min.
+func New(w io.Writer, min Level) *Logger {
+	return &Logger{out: &sink{w: w}, min: min, now: time.Now}
+}
+
+// With returns a logger that adds key=value to every line. The
+// receiver is unchanged; a nil receiver stays nil.
+func (l *Logger) With(key string, value any) *Logger {
+	if l == nil {
+		return nil
+	}
+	nl := *l
+	// Copy-on-append: siblings derived from the same parent must not
+	// share the backing array.
+	nl.fields = make([]Field, len(l.fields), len(l.fields)+1)
+	copy(nl.fields, l.fields)
+	nl.fields = append(nl.fields, Field{Key: key, Value: value})
+	return &nl
+}
+
+// Enabled reports whether events at lv would be emitted — the guard
+// for callers that compute expensive log values.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv >= l.min
+}
+
+// Debug emits a debug event with alternating key, value arguments.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info emits an info event with alternating key, value arguments.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Error emits an error event with alternating key, value arguments.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	var b bytes.Buffer
+	b.WriteString(`{"ts":`)
+	appendJSON(&b, l.now().UTC().Format(time.RFC3339Nano))
+	b.WriteString(`,"level":`)
+	appendJSON(&b, lv.String())
+	b.WriteString(`,"msg":`)
+	appendJSON(&b, msg)
+	for _, f := range l.fields {
+		appendPair(&b, f.Key, f.Value)
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprintf("%v", kv[i])
+		}
+		appendPair(&b, key, kv[i+1])
+	}
+	if len(kv)%2 != 0 {
+		// A dangling value still lands in the line instead of
+		// disappearing — misuse should be visible, not silent.
+		appendPair(&b, "!extra", kv[len(kv)-1])
+	}
+	b.WriteByte('}')
+	b.WriteByte('\n')
+	l.out.mu.Lock()
+	defer l.out.mu.Unlock()
+	_, _ = l.out.w.Write(b.Bytes()) // logging is best-effort by design
+}
+
+func appendPair(b *bytes.Buffer, key string, value any) {
+	b.WriteByte(',')
+	appendJSON(b, key)
+	b.WriteByte(':')
+	appendJSON(b, value)
+}
+
+// appendJSON writes v as JSON; unmarshalable values degrade to their
+// fmt rendering so a log call never fails.
+func appendJSON(b *bytes.Buffer, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data, _ = json.Marshal(fmt.Sprintf("%v", v))
+	}
+	b.Write(data)
+}

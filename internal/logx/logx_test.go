@@ -1,0 +1,145 @@
+package logx
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixed pins the clock so lines are byte-stable.
+func fixed() time.Time { return time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC) }
+
+func TestLineShapeAndFieldOrder(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, LevelDebug)
+	lg.now = fixed
+	lg.With("request_id", "r-1").With("run", "s-2").Info("request", "status", 200, "ok", true)
+
+	got := buf.String()
+	want := `{"ts":"2026-01-02T03:04:05Z","level":"info","msg":"request","request_id":"r-1","run":"s-2","status":200,"ok":true}` + "\n"
+	if got != want {
+		t.Fatalf("line mismatch:\n got %s\nwant %s", got, want)
+	}
+	// And it must be valid JSON.
+	var m map[string]any
+	if err := json.Unmarshal([]byte(got), &m); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, LevelInfo)
+	lg.now = fixed
+	lg.Debug("hidden")
+	lg.Info("shown")
+	lg.Error("also shown")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines at info level, got %d: %q", len(lines), buf.String())
+	}
+	if strings.Contains(buf.String(), "hidden") {
+		t.Fatalf("debug line leaked through info level: %q", buf.String())
+	}
+	if lg.Enabled(LevelDebug) {
+		t.Fatal("Enabled(debug) true at info level")
+	}
+	if !lg.Enabled(LevelError) {
+		t.Fatal("Enabled(error) false at info level")
+	}
+}
+
+func TestNilLoggerIsNoOp(t *testing.T) {
+	var lg *Logger
+	// None of these may panic; With must stay nil.
+	if got := lg.With("k", "v"); got != nil {
+		t.Fatalf("nil.With returned %v", got)
+	}
+	lg.Debug("x")
+	lg.Info("x", "k", 1)
+	lg.Error("x")
+	if lg.Enabled(LevelError) {
+		t.Fatal("nil logger reports enabled")
+	}
+}
+
+func TestWithDoesNotMutateParent(t *testing.T) {
+	var buf bytes.Buffer
+	parent := New(&buf, LevelDebug)
+	parent.now = fixed
+	a := parent.With("who", "a")
+	b := parent.With("who", "b") // siblings must not share field storage
+	a.Info("m")
+	b.Info("m")
+	out := buf.String()
+	if !strings.Contains(out, `"who":"a"`) || !strings.Contains(out, `"who":"b"`) {
+		t.Fatalf("sibling fields clobbered each other: %s", out)
+	}
+}
+
+func TestOddKVAndUnmarshalableValue(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, LevelDebug)
+	lg.now = fixed
+	lg.Info("odd", "k") // dangling value becomes !extra
+	if !strings.Contains(buf.String(), `"!extra":"k"`) {
+		t.Fatalf("dangling kv dropped: %s", buf.String())
+	}
+	buf.Reset()
+	lg.Info("chan", "c", make(chan int)) // unmarshalable → fmt fallback, no panic
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("fallback line not JSON: %v: %s", err, buf.String())
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, LevelDebug).With("request_id", "r-9")
+	lg.now = fixed
+	ctx := NewContext(context.Background(), lg)
+	FromContext(ctx).Info("deep")
+	if !strings.Contains(buf.String(), `"request_id":"r-9"`) {
+		t.Fatalf("context logger lost its fields: %s", buf.String())
+	}
+	// Absent logger → nil → no-op, no panic.
+	FromContext(context.Background()).Info("nowhere")
+}
+
+func TestConcurrentLinesDoNotInterleave(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, LevelDebug)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				lg.Info("tick", "pad", strings.Repeat("x", 64))
+			}
+		}()
+	}
+	wg.Wait()
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("interleaved/corrupt line: %v: %q", err, line)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{"debug": LevelDebug, "info": LevelInfo, "": LevelInfo, "error": LevelError} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Fatal("ParseLevel accepted an unknown level")
+	}
+}

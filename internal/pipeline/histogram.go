@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"sync"
+	"time"
+)
+
+// histBounds are the histogram's bucket upper bounds: exponential from
+// 250µs to ~32.8s, which spans a memoized artefact read to a cold
+// paper-scale study. Values above the top bound land in the top bucket
+// (the snapshot's max still reports the true maximum).
+var histBounds = func() []time.Duration {
+	out := []time.Duration{250 * time.Microsecond, 500 * time.Microsecond}
+	for ms := time.Millisecond; ms <= 32768*time.Millisecond; ms *= 2 {
+		out = append(out, ms)
+	}
+	return out
+}()
+
+// Histogram counts durations in fixed exponential latency buckets. It
+// is safe for concurrent use; the zero value is not usable — create
+// with NewHistogram. A nil *Histogram is a valid no-op sink.
+type Histogram struct {
+	mu       sync.Mutex
+	counts   []int64
+	n        int64
+	total    time.Duration
+	min, max time.Duration
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]int64, len(histBounds))}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < len(histBounds)-1 && d > histBounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.counts[i]++
+	h.n++
+	h.total += d
+	if h.n == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// HistogramBucket is one non-empty bucket of a snapshot: Count
+// observations at most LeMS milliseconds (cumulative ranks, not
+// cumulative counts — each observation appears in exactly one bucket).
+type HistogramBucket struct {
+	LeMS  float64 `json:"le_ms"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, in
+// milliseconds. Percentiles are bucket-resolution estimates: the upper
+// bound of the bucket holding the rank, clamped to the observed max.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MinMS   float64 `json:"min_ms"`
+	MaxMS   float64 `json:"max_ms"`
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	// Buckets lists only non-empty buckets, in ascending bound order.
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's state. A nil histogram snapshots to
+// the zero value.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := HistogramSnapshot{
+		Count:   h.n,
+		TotalMS: ms(h.total),
+		MinMS:   ms(h.min),
+		MaxMS:   ms(h.max),
+	}
+	if h.n == 0 {
+		return snap
+	}
+	snap.P50MS = h.quantileLocked(0.50)
+	snap.P95MS = h.quantileLocked(0.95)
+	snap.P99MS = h.quantileLocked(0.99)
+	for i, c := range h.counts {
+		if c > 0 {
+			snap.Buckets = append(snap.Buckets, HistogramBucket{LeMS: ms(histBounds[i]), Count: c})
+		}
+	}
+	return snap
+}
+
+// quantileLocked estimates the q-quantile as the upper bound of the
+// bucket containing the rank, clamped to the observed max so a
+// one-element histogram reports that element. Caller holds h.mu.
+func (h *Histogram) quantileLocked(q float64) float64 {
+	rank := int64(q*float64(h.n-1)) + 1
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			bound := histBounds[i]
+			if bound > h.max {
+				bound = h.max
+			}
+			return ms(bound)
+		}
+	}
+	return ms(h.max)
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

@@ -1,0 +1,114 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramNilIsNoOp(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+	snap := h.Snapshot()
+	if snap.Count != 0 || len(snap.Buckets) != 0 {
+		t.Fatalf("nil histogram snapshot not zero: %+v", snap)
+	}
+}
+
+func TestHistogramCountsAndExtremes(t *testing.T) {
+	h := NewHistogram()
+	durs := []time.Duration{
+		100 * time.Microsecond, // below the first bound
+		3 * time.Millisecond,
+		3 * time.Millisecond,
+		40 * time.Millisecond,
+		2 * time.Minute, // beyond the top bound: clamps into the top bucket
+	}
+	for _, d := range durs {
+		h.Observe(d)
+	}
+	snap := h.Snapshot()
+	if snap.Count != int64(len(durs)) {
+		t.Fatalf("count = %d, want %d", snap.Count, len(durs))
+	}
+	if snap.MinMS != 0.1 {
+		t.Fatalf("min = %g ms, want 0.1", snap.MinMS)
+	}
+	if snap.MaxMS != ms(2*time.Minute) {
+		t.Fatalf("max = %g ms, want %g", snap.MaxMS, ms(2*time.Minute))
+	}
+	var bucketSum int64
+	for _, b := range snap.Buckets {
+		if b.Count == 0 {
+			t.Fatalf("snapshot carries an empty bucket: %+v", snap.Buckets)
+		}
+		bucketSum += b.Count
+	}
+	if bucketSum != snap.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", bucketSum, snap.Count)
+	}
+}
+
+func TestHistogramQuantilesOrderedAndClamped(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(2 * time.Millisecond)
+	}
+	h.Observe(900 * time.Millisecond)
+	snap := h.Snapshot()
+	if !(snap.P50MS <= snap.P95MS && snap.P95MS <= snap.P99MS) {
+		t.Fatalf("quantiles out of order: p50=%g p95=%g p99=%g", snap.P50MS, snap.P95MS, snap.P99MS)
+	}
+	if snap.P99MS > snap.MaxMS {
+		t.Fatalf("p99 %g exceeds max %g", snap.P99MS, snap.MaxMS)
+	}
+	// All mass at 2ms: the median must sit at that bucket's bound.
+	if snap.P50MS != 2 {
+		t.Fatalf("p50 = %g ms, want 2", snap.P50MS)
+	}
+
+	// A one-element histogram reports that element everywhere.
+	one := NewHistogram()
+	one.Observe(700 * time.Microsecond)
+	s1 := one.Snapshot()
+	if s1.P50MS != 0.7 || s1.P99MS != 0.7 {
+		t.Fatalf("single-element quantiles = p50 %g p99 %g, want 0.7", s1.P50MS, s1.P99MS)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestHistogramSnapshotJSONShape(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	data, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"count", "total_ms", "min_ms", "max_ms", "p50_ms", "p95_ms", "p99_ms", "buckets"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("snapshot JSON missing %q: %s", key, data)
+		}
+	}
+}

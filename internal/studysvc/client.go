@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	"repro/internal/sweep"
@@ -15,9 +17,22 @@ import (
 
 // Client drives a remote study service — what cmd/ewpipeline -remote
 // uses against a live cmd/ewserve.
+//
+// Study submissions honor the service's admission control: a 429
+// response carries a Retry-After hint, and the client backs off and
+// retries with capped deterministic (exponential, jitter-free) delays
+// before giving up. Set MaxRetries negative to disable — a load
+// generator measuring the shed rate must see the 429s, not hide them.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	// MaxRetries bounds how many times a shed (429) study submission
+	// is retried (default 3; negative disables retrying).
+	MaxRetries int
+	// MaxBackoff caps the per-attempt retry delay (default 5s). The
+	// delay for attempt n is min(RetryAfter << n, MaxBackoff), seeded
+	// from the server's Retry-After header.
+	MaxBackoff time.Duration
 }
 
 // NewClient returns a client for the service at baseURL (no trailing
@@ -29,12 +44,29 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 	return &Client{BaseURL: baseURL, HTTP: httpClient}
 }
 
+// HTTPError is a non-2xx service response: the status code, the
+// error body the server sent (not just the code — the body carries
+// the reason), and the parsed Retry-After hint when present.
+type HTTPError struct {
+	Status     int
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *HTTPError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("studysvc: %s (status %d)", e.Msg, e.Status)
+	}
+	return fmt.Sprintf("studysvc: status %d", e.Status)
+}
+
 // Run submits a study request and waits for its result.
 func (c *Client) Run(ctx context.Context, r Request) (*Envelope, error) {
 	return c.run(ctx, r, "")
 }
 
-// run submits a study request with an optional raw query string.
+// run submits a study request with an optional raw query string,
+// retrying shed (429) submissions under the client's backoff policy.
 func (c *Client) run(ctx context.Context, r Request, query string) (*Envelope, error) {
 	body, err := json.Marshal(r)
 	if err != nil {
@@ -44,12 +76,47 @@ func (c *Client) run(ctx context.Context, r Request, query string) (*Envelope, e
 	if query != "" {
 		u += "?" + query
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
-	if err != nil {
-		return nil, err
+	maxRetries := c.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 3
 	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req)
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	maxBackoff := c.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 5 * time.Second
+	}
+	for attempt := 0; ; attempt++ {
+		// The body reader must be fresh per attempt: a retried request
+		// cannot replay a drained reader.
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		env, err := c.do(req)
+		var he *HTTPError
+		if err == nil || attempt >= maxRetries ||
+			!errors.As(err, &he) || he.Status != http.StatusTooManyRequests {
+			return env, err
+		}
+		// Shed: back off as the server asked, doubling per attempt up
+		// to the cap. Deterministic on purpose — no jitter — so test
+		// and sweep behavior is reproducible.
+		wait := he.RetryAfter
+		if wait <= 0 {
+			wait = time.Second
+		}
+		wait = min(wait<<attempt, maxBackoff)
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
 }
 
 // Get fetches a run by id.
@@ -221,11 +288,22 @@ func (b Backend) RunCell(ctx context.Context, cell sweep.Cell) (sweep.CellResult
 	}, nil
 }
 
+// decodeError turns a non-2xx response into an *HTTPError carrying
+// the server's error body — the reason, not just the code — and any
+// Retry-After hint.
 func decodeError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	e := &HTTPError{Status: resp.StatusCode}
 	var er errorResponse
 	if json.Unmarshal(body, &er) == nil && er.Error != "" {
-		return fmt.Errorf("studysvc: %s (status %d)", er.Error, resp.StatusCode)
+		e.Msg = er.Error
+	} else if msg := string(bytes.TrimSpace(body)); msg != "" {
+		e.Msg = msg
 	}
-	return fmt.Errorf("studysvc: status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
 }

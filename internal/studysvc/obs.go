@@ -1,0 +1,252 @@
+package studysvc
+
+// Observability spine: per-request ids, in-flight request tracking,
+// per-artefact-node latency aggregation and the admission-control
+// queue. The HTTP middleware here binds a request-scoped logger into
+// the request context; studysvc passes it (rebased onto BaseContext)
+// into core.Study, whose artefact evaluation and memo lookups log
+// through it — so one request id threads the whole stack.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/logx"
+	"repro/internal/pipeline"
+)
+
+// ErrSaturated is the admission-control rejection: the worker pool is
+// full and the request exceeded the queue bound (depth or wait).
+// Handlers map it to 429 + Retry-After.
+var ErrSaturated = errors.New("study pool saturated")
+
+// reqIDKey carries the request id in a request context.
+type reqIDKey struct{}
+
+// requestIDFrom returns the request id bound by the middleware, or "".
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// openRequest is one in-flight HTTP request, tracked so the server's
+// graceful shutdown can say what it is waiting on.
+type openRequest struct {
+	method string
+	path   string
+	start  time.Time
+}
+
+// instrument wraps the API mux with the request middleware: it assigns
+// (or adopts) a request id, binds a request-scoped logger into the
+// context, tracks the request in the open set and logs start/finish
+// with status and duration.
+func (s *Service) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		id := req.Header.Get("X-Request-ID")
+		if id == "" {
+			s.reqMu.Lock()
+			s.nextReq++
+			id = "r-" + strconv.Itoa(s.nextReq)
+			s.reqMu.Unlock()
+		}
+		w.Header().Set("X-Request-ID", id)
+		lg := s.log().With("request_id", id)
+		ctx := logx.NewContext(context.WithValue(req.Context(), reqIDKey{}, id), lg)
+
+		s.reqMu.Lock()
+		s.openReqs[id] = openRequest{method: req.Method, path: req.URL.Path, start: time.Now()}
+		s.reqMu.Unlock()
+		defer func() {
+			s.reqMu.Lock()
+			delete(s.openReqs, id)
+			s.reqMu.Unlock()
+		}()
+
+		lg.Debug("request start", "method", req.Method, "path", req.URL.Path)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, req.WithContext(ctx))
+		lg.Info("request",
+			"method", req.Method,
+			"path", req.URL.Path,
+			"status", sw.code,
+			"elapsed_ms", time.Since(start).Milliseconds())
+	})
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// InFlightRequests describes every HTTP request currently being
+// served, oldest first — what a graceful shutdown is waiting on. Each
+// entry reads "id METHOD /path (elapsed)".
+func (s *Service) InFlightRequests() []string {
+	s.reqMu.Lock()
+	defer s.reqMu.Unlock()
+	type row struct {
+		id string
+		r  openRequest
+	}
+	rows := make([]row, 0, len(s.openReqs))
+	for id, r := range s.openReqs {
+		rows = append(rows, row{id, r})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if !rows[i].r.start.Equal(rows[j].r.start) {
+			return rows[i].r.start.Before(rows[j].r.start)
+		}
+		return rows[i].id < rows[j].id
+	})
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r.id+" "+r.r.method+" "+r.r.path+
+			" ("+time.Since(r.r.start).Round(time.Millisecond).String()+")")
+	}
+	return out
+}
+
+// log returns the configured logger (nil — a no-op — when none is).
+func (s *Service) log() *logx.Logger { return s.cfg.Logger }
+
+// admit reserves one worker-pool slot for a fresh run. The fast path
+// takes a free slot immediately. When the pool is saturated, HTTP
+// requests (block=false) wait in a queue bounded two ways — at most
+// MaxQueueDepth waiters, for at most MaxQueueWait each — and are shed
+// with ErrSaturated beyond either bound, so saturation surfaces as
+// fast 429s instead of unbounded queueing. Internal sweep cells
+// (block=true) wait indefinitely: their concurrency is already
+// bounded by the sweep's parallelism, and BaseContext cancellation
+// still releases them. Every successful admission records its queue
+// wait in the stats histogram.
+func (s *Service) admit(ctx context.Context, block bool) error {
+	start := time.Now()
+	select {
+	case s.sem <- struct{}{}:
+		s.queueWait.Observe(time.Since(start))
+		return nil
+	default:
+	}
+	if block {
+		select {
+		case s.sem <- struct{}{}:
+			s.queueWait.Observe(time.Since(start))
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	s.mu.Lock()
+	if s.cfg.MaxQueueDepth < 1 || s.waiting >= s.cfg.MaxQueueDepth {
+		s.stats.Shed++
+		s.mu.Unlock()
+		return fmt.Errorf("%w: queue full", ErrSaturated)
+	}
+	s.waiting++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.waiting--
+		s.mu.Unlock()
+	}()
+	t := time.NewTimer(s.cfg.MaxQueueWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		s.queueWait.Observe(time.Since(start))
+		return nil
+	case <-t.C:
+		s.mu.Lock()
+		s.stats.Shed++
+		s.mu.Unlock()
+		return fmt.Errorf("%w: no slot within %v", ErrSaturated, s.cfg.MaxQueueWait)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryAfterSeconds renders Config.RetryAfter as a Retry-After header
+// value (whole seconds, rounded up, at least 1).
+func (s *Service) retryAfterSeconds() int {
+	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// NodeStats aggregates one artefact node's service-lifetime execution:
+// how often it was answered from memo vs computed, and the compute
+// latency distribution (memo hits are excluded from the histogram —
+// they would pin every percentile at ~0).
+type NodeStats struct {
+	Name     string                     `json:"name"`
+	MemoHits int64                      `json:"memo_hits"`
+	Computes int64                      `json:"computes"`
+	Latency  pipeline.HistogramSnapshot `json:"latency"`
+}
+
+// nodeAgg is the mutable accumulator behind one NodeStats row.
+type nodeAgg struct {
+	memoHits int64
+	computes int64
+	latency  *pipeline.Histogram
+}
+
+// foldNodeStats folds one finished run's per-node stage records into
+// the service-lifetime node aggregates. The artefact evaluator records
+// each resolved node as a "node X" stage with Busy==0 iff the value
+// came from memo (core.Study.evaluate), so the stage table the
+// envelope already exposes is also the per-node metrics feed — no
+// re-instrumentation.
+func (s *Service) foldNodeStats(stages []pipeline.StageSnapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, snap := range stages {
+		name, ok := strings.CutPrefix(snap.Name, "node ")
+		if !ok {
+			continue
+		}
+		agg := s.nodes[name]
+		if agg == nil {
+			agg = &nodeAgg{latency: pipeline.NewHistogram()}
+			s.nodes[name] = agg
+		}
+		if snap.Busy == 0 {
+			agg.memoHits++
+			continue
+		}
+		agg.computes++
+		agg.latency.Observe(snap.Wall)
+	}
+}
+
+// nodeStatsLocked snapshots the node aggregates, sorted by name.
+// Caller holds s.mu.
+func (s *Service) nodeStatsLocked() []NodeStats {
+	out := make([]NodeStats, 0, len(s.nodes))
+	for name, agg := range s.nodes {
+		out = append(out, NodeStats{
+			Name:     name,
+			MemoHits: agg.memoHits,
+			Computes: agg.computes,
+			Latency:  agg.latency.Snapshot(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -28,6 +28,7 @@ import (
 	"container/list"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -38,6 +39,7 @@ import (
 
 	"repro/internal/artefact"
 	"repro/internal/core"
+	"repro/internal/logx"
 	"repro/internal/pipeline"
 	"repro/internal/report"
 	"repro/internal/sweep"
@@ -87,6 +89,25 @@ type Config struct {
 	// downloaded corpus — so this bound, like WorldCacheSize, trades
 	// recomputation against steady-state memory.
 	MemoSize int
+	// MaxQueueDepth bounds how many fresh-run HTTP requests may wait
+	// for a pool slot at once (default 2×MaxConcurrentRuns; negative
+	// disables queueing — a saturated pool sheds immediately). Beyond
+	// the bound requests are shed with 429 instead of queueing, so
+	// overload degrades into fast rejections rather than a growing
+	// backlog of goroutines.
+	MaxQueueDepth int
+	// MaxQueueWait bounds how long an admitted waiter holds on for a
+	// pool slot before being shed (default 2s) — the deadline that
+	// keeps queued requests from outliving their caller's patience.
+	MaxQueueWait time.Duration
+	// RetryAfter is the backoff hint attached to 429 responses as the
+	// Retry-After header (default 1s, rounded up to whole seconds on
+	// the wire).
+	RetryAfter time.Duration
+	// Logger receives the service's structured log stream (requests,
+	// runs, sheds; nil = silent). Request-scoped children of it travel
+	// in the request context into core and the artefact store.
+	Logger *logx.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +131,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MemoSize == 0 {
 		c.MemoSize = 33
+	}
+	if c.MaxQueueDepth == 0 {
+		c.MaxQueueDepth = 2 * c.MaxConcurrentRuns
+	}
+	if c.MaxQueueWait <= 0 {
+		c.MaxQueueWait = 2 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
 	}
 	if c.BaseContext == nil {
 		// The one place a detached context is the contract: a service
@@ -259,7 +289,11 @@ type run struct {
 	id   string
 	key  string
 	opts Canonical
-	done chan struct{} // closed when the run finishes
+	// origin is the request id that started the run ("" for internal
+	// sweeps) — the log field that joins a run's node events back to
+	// the HTTP request that caused them.
+	origin string
+	done   chan struct{} // closed when the run finishes
 
 	// Written once before done closes, read-only after.
 	status  string
@@ -301,7 +335,9 @@ func (r *run) envelope(cached bool, full bool) Envelope {
 	return env
 }
 
-// Stats are the service counters served at /v1/stats.
+// Stats are the service counters served at /v1/stats. The JSON shape
+// is a dashboard contract, pinned by TestStatsJSONShape — extending it
+// is fine, renaming or removing fields is a break.
 type Stats struct {
 	RunsStarted   int64 `json:"runs_started"`
 	RunsCompleted int64 `json:"runs_completed"`
@@ -309,12 +345,31 @@ type Stats struct {
 	CacheHits     int64 `json:"cache_hits"`
 	Coalesced     int64 `json:"coalesced"`
 	Evictions     int64 `json:"evictions"`
-	InFlight      int   `json:"in_flight"`
-	CachedResults int   `json:"cached_results"`
+	// Shed counts requests rejected by admission control (429): the
+	// pool was saturated and the queue bound — depth or wait — was
+	// exceeded. A nonzero rate under load is the service protecting
+	// itself; a high rate is undersizing.
+	Shed int64 `json:"shed"`
+	// QueueDepth is the number of requests currently waiting for a
+	// pool slot (bounded by Config.MaxQueueDepth).
+	QueueDepth    int `json:"queue_depth"`
+	InFlight      int `json:"in_flight"`
+	CachedResults int `json:"cached_results"`
+	// OpenRequests counts HTTP requests currently being served,
+	// including ones merely waiting on a run.
+	OpenRequests int `json:"open_requests"`
 	// Memo mirrors the shared artefact store's counters (absent when
 	// memo sharing is disabled): Computes is the work the service
 	// actually did, Hits the work the artefact graph saved it.
 	Memo *artefact.StoreStats `json:"memo,omitempty"`
+	// QueueWait is the admission-wait distribution over successfully
+	// admitted fresh runs (cache hits and coalesced requests never
+	// wait and are not counted).
+	QueueWait pipeline.HistogramSnapshot `json:"queue_wait"`
+	// Nodes aggregates per-artefact-node execution across every run
+	// the service completed: memo hit/miss counts and the compute
+	// latency histogram, sorted by node name.
+	Nodes []NodeStats `json:"nodes"`
 }
 
 // Service runs studies behind a cache, an in-flight table and a
@@ -349,19 +404,42 @@ type Service struct {
 	// artefact graph once, coalesced by the store's in-flight
 	// deduplication.
 	memo *artefact.Store
+
+	// waiting counts admission-queue waiters (guarded by mu; bounded
+	// by cfg.MaxQueueDepth).
+	waiting int
+	// queueWait is the admission-wait histogram behind Stats.QueueWait.
+	queueWait *pipeline.Histogram
+	// nodes aggregates per-artefact-node stats across completed runs
+	// (guarded by mu).
+	nodes map[string]*nodeAgg
+
+	// reqMu guards the HTTP request tracking (separate from mu: the
+	// middleware must not contend with run bookkeeping).
+	reqMu    sync.Mutex
+	nextReq  int
+	openReqs map[string]openRequest
+
+	// testRunHook, when set by tests, runs inside execute while the
+	// run holds its pool slot — the seam saturation tests use to hold
+	// the pool full deterministically.
+	testRunHook func()
 }
 
 // New builds a service.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:      cfg,
-		sem:      make(chan struct{}, cfg.MaxConcurrentRuns),
-		inflight: make(map[string]*run),
-		byID:     make(map[string]*run),
-		order:    list.New(),
-		cache:    make(map[string]*list.Element),
-		sweeps:   make(map[string]*sweepRun),
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.MaxConcurrentRuns),
+		inflight:  make(map[string]*run),
+		byID:      make(map[string]*run),
+		order:     list.New(),
+		cache:     make(map[string]*list.Element),
+		sweeps:    make(map[string]*sweepRun),
+		queueWait: pipeline.NewHistogram(),
+		nodes:     make(map[string]*nodeAgg),
+		openReqs:  make(map[string]openRequest),
 	}
 	if cfg.WorldCacheSize > 0 {
 		s.worlds = sweep.NewWorldCache(cfg.WorldCacheSize)
@@ -374,40 +452,89 @@ func New(cfg Config) *Service {
 
 // getOrStart returns the run for the canonical options: a cached
 // result, the in-flight run to coalesce onto, or a freshly started
-// one. cached reports a cache hit.
-func (s *Service) getOrStart(c Canonical) (r *run, cached bool) {
+// one. cached reports a cache hit. Starting a fresh run requires
+// admission — a worker-pool slot — so a saturated pool surfaces here
+// as ErrSaturated (HTTP callers, block=false) instead of unbounded
+// queueing; cache hits and coalesced requests need no slot and are
+// never shed. block=true (internal sweep cells) waits indefinitely.
+func (s *Service) getOrStart(ctx context.Context, c Canonical, block bool) (r *run, cached bool, err error) {
 	key := c.key()
+	if r, cached, ok := s.lookup(key); ok {
+		return r, cached, nil
+	}
+	// Miss: reserve a pool slot BEFORE registering the run, so the
+	// number of queued-but-unstarted runs is bounded by the admission
+	// queue, not by the request rate.
+	if err := s.admit(ctx, block); err != nil {
+		return nil, false, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Re-check under the lock: an identical request may have completed
+	// or started while we waited for the slot.
 	if el, ok := s.cache[key]; ok {
+		<-s.sem // release the unused slot; never blocks, we hold it
 		s.order.MoveToFront(el)
 		s.stats.CacheHits++
-		return el.Value.(*run), true
+		return el.Value.(*run), true, nil
 	}
 	if r, ok := s.inflight[key]; ok {
+		<-s.sem
 		s.stats.Coalesced++
-		return r, false
+		return r, false, nil
 	}
 	s.nextID++
 	r = &run{
 		id:     "s-" + strconv.Itoa(s.nextID),
 		key:    key,
 		opts:   c,
+		origin: requestIDFrom(ctx),
 		done:   make(chan struct{}),
 		status: StatusRunning,
 	}
 	s.inflight[key] = r
 	s.byID[r.id] = r
 	s.stats.RunsStarted++
-	go s.execute(r)
-	return r, false
+	go s.execute(r) // execute owns the admitted slot and releases it
+	return r, false, nil
 }
 
-// execute runs one study under the pool bound and publishes the
-// outcome.
+// lookup checks the result cache and the in-flight table; ok reports
+// that the request needs no new run (and so no admission).
+func (s *Service) lookup(key string) (r *run, cached, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.cache[key]; ok {
+		s.order.MoveToFront(el)
+		s.stats.CacheHits++
+		return el.Value.(*run), true, true
+	}
+	if r, ok := s.inflight[key]; ok {
+		s.stats.Coalesced++
+		return r, false, true
+	}
+	return nil, false, false
+}
+
+// execute runs one study and publishes the outcome. The caller
+// (getOrStart) already admitted it into the worker pool; execute
+// releases the slot when done.
 func (s *Service) execute(r *run) {
-	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
+	if s.testRunHook != nil {
+		s.testRunHook()
+	}
+
+	lg := s.log().With("run", r.id)
+	if r.origin != "" {
+		lg = lg.With("origin_request", r.origin)
+	}
+	// Runs are detached from their requesting HTTP context (coalesced
+	// requests share them), so the run context is BaseContext plus the
+	// run-scoped logger: core's artefact evaluation and the memo store
+	// log each node event under this run's — and origin request's — id.
+	ctx := logx.NewContext(s.cfg.BaseContext, lg)
+	lg.Info("run start", "options", r.key)
 
 	start := time.Now()
 	// Worlds are shared across runs with the same canonical synth
@@ -435,9 +562,9 @@ func (s *Service) execute(r *run) {
 		// unvalidated selection.
 		err = rerr
 	} else if len(r.opts.Artefacts) == 0 {
-		res, err = study.Run(s.cfg.BaseContext)
+		res, err = study.Run(ctx)
 	} else {
-		res, err = study.Compute(s.cfg.BaseContext, r.opts.Artefacts...)
+		res, err = study.Compute(ctx, r.opts.Artefacts...)
 		study.Close()
 	}
 	elapsed := time.Since(start)
@@ -472,6 +599,16 @@ func (s *Service) execute(r *run) {
 	// find the run in inflight and coalesce onto the closed channel.
 	close(r.done)
 
+	if err == nil {
+		lg.Info("run done", "status", r.status, "elapsed_ms", elapsed.Milliseconds(), "artefacts", len(r.sections))
+		// The artefact evaluator already recorded one "node X" stage
+		// per resolved node; fold them into the service-lifetime
+		// per-node aggregates /v1/stats serves.
+		s.foldNodeStats(r.stages)
+	} else {
+		lg.Error("run failed", "error", err.Error(), "elapsed_ms", elapsed.Milliseconds())
+	}
+
 	s.mu.Lock()
 	delete(s.inflight, r.key)
 	if err == nil {
@@ -502,18 +639,25 @@ func (s *Service) execute(r *run) {
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := s.stats
 	st.InFlight = len(s.inflight)
 	st.CachedResults = len(s.cache)
+	st.QueueDepth = s.waiting
 	if s.memo != nil {
 		ms := s.memo.Stats()
 		st.Memo = &ms
 	}
+	st.Nodes = s.nodeStatsLocked()
+	s.mu.Unlock()
+	st.QueueWait = s.queueWait.Snapshot()
+	s.reqMu.Lock()
+	st.OpenRequests = len(s.openReqs)
+	s.reqMu.Unlock()
 	return st
 }
 
-// Handler mounts the API.
+// Handler mounts the API behind the request middleware (ids, request
+// logging, in-flight tracking — obs.go).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/study", s.handleRun)
@@ -523,7 +667,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/sweep/{id}", s.handleSweepGet)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return mux
+	return s.instrument(mux)
 }
 
 // validate enforces the service's resource limits on one canonical
@@ -559,7 +703,23 @@ func (s *Service) handleRun(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
-	r, cached := s.getOrStart(c)
+	r, cached, err := s.getOrStart(req.Context(), c, false)
+	if err != nil {
+		if errors.Is(err, ErrSaturated) {
+			secs := s.retryAfterSeconds()
+			logx.FromContext(req.Context()).Info("shed",
+				"reason", err.Error(), "retry_after_s", secs)
+			// The header is the machine-readable backoff hint; the JSON
+			// body repeats it for humans reading error strings.
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			httpError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("%v; retry after %ds", err, secs))
+			return
+		}
+		// Admission ended with the request's own context: the client is
+		// gone, nothing useful to write.
+		return
+	}
 	if req.URL.Query().Get("wait") == "false" {
 		writeJSONStatus(w, http.StatusAccepted, r.envelope(cached, false))
 		return

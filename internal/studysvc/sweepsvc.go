@@ -29,9 +29,15 @@ type serviceBackend struct {
 }
 
 // RunCell routes one sweep cell through getOrStart and waits for the
-// run to finish.
+// run to finish. Cells use blocking admission (block=true): a sweep's
+// concurrency is already bounded by its parallelism, so its cells wait
+// for pool slots instead of being shed — external HTTP traffic still
+// sheds around them.
 func (b serviceBackend) RunCell(ctx context.Context, c sweep.Cell) (sweep.CellResult, error) {
-	r, cached := b.svc.getOrStart(fromCell(c))
+	r, cached, err := b.svc.getOrStart(ctx, fromCell(c), true)
+	if err != nil {
+		return sweep.CellResult{}, err
+	}
 	select {
 	case <-r.done:
 	case <-ctx.Done():
