@@ -69,8 +69,9 @@ bench:
 # SLO load smoke: boot a small ewserve in the background (loopback
 # 1808x ports so a dev server on the defaults is undisturbed), drive a
 # short target-RPS window at it with `ewsweep -load` (which waits for
-# readiness itself) and write the resulting latency/shed artifact. The
-# server log lands in ewserve_load.log for post-mortems.
+# readiness itself) and write the resulting latency/shed artifact plus
+# a Perfetto export of the sampled cold-start trace. The server log
+# lands in ewserve_load.log for post-mortems.
 LOAD_RPS ?= 30
 LOAD_DURATION ?= 5s
 load-smoke:
@@ -82,7 +83,8 @@ load-smoke:
 	SRV=$$!; trap 'kill $$SRV 2>/dev/null' EXIT; \
 	$(GO) run ./cmd/ewsweep -remote http://127.0.0.1:18084 -load \
 		-rps $(LOAD_RPS) -duration $(LOAD_DURATION) -scale 0.01 \
-		-bench-out BENCH_load.fresh.json
+		-bench-out BENCH_load.fresh.json \
+		-trace-out trace_load.perfetto.json
 
 # SLO gate: the fresh load artifact must stay within LOAD_TOLERANCE of
 # the committed BENCH_load.json. The baseline is deliberately trimmed
@@ -106,4 +108,5 @@ load-baseline: load-smoke
 clean:
 	rm -f bench_pipeline.txt bench_sweep.txt bench_artefact.txt \
 		BENCH_pipeline.fresh.json BENCH_sweep.fresh.json BENCH_artefact.fresh.json \
-		BENCH_load.fresh.json ewserve_load.log ewserve_load_bin
+		BENCH_load.fresh.json ewserve_load.log ewserve_load_bin \
+		trace_load.perfetto.json

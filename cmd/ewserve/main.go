@@ -47,6 +47,7 @@ import (
 	"repro/internal/reverse"
 	"repro/internal/studysvc"
 	"repro/internal/synth"
+	"repro/internal/tracex"
 	"repro/internal/wayback"
 )
 
@@ -63,6 +64,7 @@ func main() {
 	studySweepCells := flag.Int("study-sweep-cells", 64, "largest sweep (in cells) the study service accepts")
 	studyQueue := flag.Int("study-queue", 0, "admission queue depth before shedding (0 = 2×study-runs, negative disables queueing)")
 	studyQueueWait := flag.Duration("study-queue-wait", 0, "longest a queued request waits for a run slot before shedding (0 = default)")
+	traceBuffer := flag.Int("trace-buffer", tracex.DefaultMaxTraces, "recent traces kept for GET /v1/trace (0 disables tracing)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info or error")
 	pprofAddr := flag.String("pprof", "", "mount net/http/pprof on this address (empty disables)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown deadline")
@@ -103,6 +105,17 @@ func main() {
 	// study requests are still open when the deadline starts ticking.
 	var svc *studysvc.Service
 	if *studyAddr != "" {
+		var tracer *tracex.Tracer
+		if *traceBuffer > 0 {
+			// Seed the span-id source from the process start time: a
+			// server and its remote clients must mint non-colliding span
+			// ids within one shared trace, and each process's SeqIDs
+			// counter alone cannot guarantee that.
+			tracer = tracex.New(tracex.Config{
+				IDs:       tracex.NewSeqIDs(uint64(time.Now().UnixNano())),
+				MaxTraces: *traceBuffer,
+			})
+		}
 		svc = studysvc.New(studysvc.Config{
 			MaxConcurrentRuns: *studyRuns,
 			CacheSize:         *studyCache,
@@ -112,6 +125,7 @@ func main() {
 			MaxQueueWait:      *studyQueueWait,
 			BaseContext:       ctx,
 			Logger:            lg.With("component", "studysvc"),
+			Tracer:            tracer,
 		})
 		services = append(services, service{"study", *studyAddr, svc.Handler()})
 	}

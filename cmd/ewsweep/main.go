@@ -24,6 +24,15 @@
 // shed rate, optionally as a benchjson artifact (-bench-out) that the
 // CI load-slo job diffs against the committed BENCH_load.json.
 //
+// -trace opens a root span around the sweep and renders the resulting
+// span tree plus the critical-path report (internal/tracex) when it
+// finishes. With per-cell -remote the traceparent header carries the
+// sweep's trace into the server, whose spans are fetched back from
+// GET /v1/trace/{id} and merged, so one trace spans both processes.
+// -trace-out writes a Chrome trace-event (Perfetto) export; with -load
+// it instead samples the first warmup request and writes the server's
+// export of that cold-start trace.
+//
 // Usage:
 //
 //	ewsweep -preset cross-seed-stability -seeds 10 -scale 0.05
@@ -32,6 +41,7 @@
 //	ewsweep -remote http://127.0.0.1:8084 -preset cross-seed-stability -seeds 10 -scale 0.05
 //	ewsweep -remote http://127.0.0.1:8084 -server -preset scale-sensitivity -json
 //	ewsweep -remote http://127.0.0.1:8084 -load -rps 20 -duration 5s -bench-out BENCH_load.fresh.json
+//	ewsweep -remote http://127.0.0.1:8084 -trace -seeds 1 -scale 0.01
 package main
 
 import (
@@ -46,10 +56,12 @@ import (
 
 	"repro/internal/artefact"
 	"repro/internal/cliutil"
+	"repro/internal/core"
 	"repro/internal/loadgen"
 	"repro/internal/report"
 	"repro/internal/studysvc"
 	"repro/internal/sweep"
+	"repro/internal/tracex"
 )
 
 func main() {
@@ -76,6 +88,8 @@ func main() {
 	loadConcurrency := flag.Int("load-concurrency", 0, "with -load: max in-flight requests (0 = 2×rps)")
 	benchOut := flag.String("bench-out", "", "with -load: write the result as a benchjson artifact to this file")
 	readyTimeout := flag.Duration("ready-timeout", 15*time.Second, "with -load: how long to wait for the service to answer /v1/stats")
+	trace := flag.Bool("trace", false, "trace the sweep and print the span tree + critical-path report")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event (Perfetto) export to this file (with -load: of the sampled cold-start request)")
 	flag.Parse()
 
 	if *server && *remote == "" {
@@ -90,6 +104,7 @@ func main() {
 			seeds: *loadSeeds, concurrency: *loadConcurrency,
 			seed: *seed, scale: *scale, annotation: *annotation,
 			benchOut: *benchOut, readyTimeout: *readyTimeout, jsonOut: *jsonOut,
+			traceOut: *traceOut,
 		})
 		return
 	}
@@ -116,6 +131,18 @@ func main() {
 	}
 
 	ctx := context.Background()
+	var (
+		tracer   *tracex.Tracer
+		rootSpan *tracex.Span
+	)
+	if *trace {
+		// Seed the id source from wall time: the sweep's span ids must
+		// not collide with the server's inside the shared trace.
+		tracer = tracex.New(tracex.Config{IDs: tracex.NewSeqIDs(uint64(time.Now().UnixNano()))})
+		ctx = tracex.NewContext(ctx, tracer)
+		ctx, rootSpan = tracex.StartSpan(ctx, "sweep")
+		rootSpan.SetAttr("spec", spec.Name())
+	}
 	var res *sweep.Result
 	switch {
 	case *remote != "" && *server:
@@ -183,6 +210,7 @@ func main() {
 		}
 		res = sweep.Run(ctx, spec.Name(), cells, backend, opts)
 	}
+	rootSpan.End()
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -193,10 +221,41 @@ func main() {
 	} else {
 		fmt.Println(report.Sweep(res))
 	}
+	if *trace {
+		printTrace(tracer, rootSpan.Context().Trace.String(), *remote, *traceOut)
+	}
 	// A partially-failed sweep is a failure in every output mode: the
 	// ledger (text or JSON) has the details, the exit code the verdict.
 	if len(res.Errors) > 0 {
 		os.Exit(1)
+	}
+}
+
+// printTrace renders the sweep's span tree and critical-path report.
+// With a remote service, the server's half of the trace (propagated
+// via the traceparent header on each cell's POST) is fetched from GET
+// /v1/trace/{id} and merged, so the rendering spans both processes.
+func printTrace(tracer *tracex.Tracer, id, remote, out string) {
+	tr, ok := tracer.Trace(id)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ewsweep: trace %s not found in local ring\n", id)
+		return
+	}
+	if remote != "" {
+		remoteTr, err := stableRemoteTrace(studysvc.NewClient(remote, nil), id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ewsweep: fetching server-side trace: %v\n", err)
+		} else {
+			tr = tracex.Merge(tr, *remoteTr)
+		}
+	}
+	fmt.Println(tr.RenderTree())
+	fmt.Println(tracex.CriticalPath(tr, core.SpanDeps()).Render())
+	if out != "" {
+		if err := os.WriteFile(out, tr.ChromeTrace(), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (trace %s)\n", out, id)
 	}
 }
 
@@ -213,6 +272,7 @@ type loadParams struct {
 	benchOut     string
 	readyTimeout time.Duration
 	jsonOut      bool
+	traceOut     string
 }
 
 // runLoad is the -load mode: wait for the service, drive target RPS
@@ -227,7 +287,12 @@ func runLoad(p loadParams) {
 	}
 	fmt.Fprintf(os.Stderr, "==> load: %.0f rps for %v against %s (%d seeds, scale %g)\n",
 		p.rps, p.duration, p.remote, p.seeds, p.scale)
-	res, err := loadgen.Run(ctx, studysvc.NewClient(p.remote, nil), loadgen.Spec{
+	client := studysvc.NewClient(p.remote, nil)
+	var tracer *tracex.Tracer
+	if p.traceOut != "" {
+		tracer = tracex.New(tracex.Config{IDs: tracex.NewSeqIDs(uint64(time.Now().UnixNano()))})
+	}
+	res, err := loadgen.Run(ctx, client, loadgen.Spec{
 		TargetRPS:      p.rps,
 		Duration:       p.duration,
 		Concurrency:    p.concurrency,
@@ -236,6 +301,7 @@ func runLoad(p loadParams) {
 		Scale:          p.scale,
 		AnnotationSize: p.annotation,
 		Warmup:         true,
+		Tracer:         tracer,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -259,12 +325,55 @@ func runLoad(p loadParams) {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", p.benchOut)
 	}
+	if p.traceOut != "" {
+		writeSampleTrace(res, p.traceOut)
+	}
 	if res.Errors > 0 {
 		for _, e := range res.ErrorSamples {
 			fmt.Fprintf(os.Stderr, "ewsweep: load error: %s\n", e)
 		}
 		os.Exit(1)
 	}
+}
+
+// writeSampleTrace writes the Chrome trace-event export of the run's
+// sampled cold-start trace (both halves already merged by loadgen,
+// which fetches the server's before the measured window evicts it
+// from the bounded ring) — the artifact the CI load-slo job uploads
+// beside the bench numbers.
+func writeSampleTrace(res *loadgen.Result, out string) {
+	if res.SampleTrace == nil {
+		fmt.Fprintln(os.Stderr, "ewsweep: no trace sampled (warmup did not run)")
+		return
+	}
+	if err := os.WriteFile(out, res.SampleTrace.ChromeTrace(), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (trace %s)\n", out, res.SampleTraceID)
+}
+
+// stableRemoteTrace fetches the server half of a trace, polling until
+// two consecutive reads agree on the span count: the request span
+// covering the final POST is recorded just after its response is
+// written, so a single immediate fetch can land one beat early.
+func stableRemoteTrace(client *studysvc.Client, id string) (*tracex.Trace, error) {
+	ctx := context.Background()
+	tr, err := client.Trace(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 10; i++ {
+		time.Sleep(50 * time.Millisecond)
+		next, err := client.Trace(ctx, id)
+		if err != nil {
+			return tr, nil
+		}
+		if len(next.Spans) == len(tr.Spans) {
+			return next, nil
+		}
+		tr = next
+	}
+	return tr, nil
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,119 @@
+// Command ewtrace renders a recorded trace: the aggregated span tree,
+// the critical-path report over the study's artefact graph (which node
+// chain bounds the run, each node's slack, and how much of a cold
+// start is world synthesis), and optionally a Chrome trace-event
+// export for Perfetto's timeline UI.
+//
+// Traces come from a live study service's recent-trace ring (-remote,
+// see GET /v1/trace/{id} in internal/studysvc) or from a JSON file in
+// the same shape (-in). Giving both merges them — the client half and
+// server half of one propagated trace render as a single tree.
+//
+// Usage:
+//
+//	ewtrace -remote http://127.0.0.1:8084 -list
+//	ewtrace -remote http://127.0.0.1:8084 -id 00000000000000070000000000000001
+//	ewtrace -remote http://127.0.0.1:8084            # newest recorded trace
+//	ewtrace -in trace.json -perfetto trace.perfetto.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/studysvc"
+	"repro/internal/tracex"
+)
+
+func main() {
+	remote := flag.String("remote", "", "fetch the trace from a live study service at this base URL")
+	id := flag.String("id", "", "trace id, 32 hex digits (empty with -remote = newest recorded trace)")
+	in := flag.String("in", "", "read the trace from this JSON file (GET /v1/trace/{id} shape)")
+	list := flag.Bool("list", false, "with -remote: list recorded trace ids, oldest first, and exit")
+	perfetto := flag.String("perfetto", "", "also write a Chrome trace-event export to this file")
+	flag.Parse()
+
+	if *remote == "" && *in == "" {
+		fatalf("need -remote or -in (a trace has to come from somewhere)")
+	}
+	ctx := context.Background()
+
+	if *list {
+		if *remote == "" {
+			fatalf("-list requires -remote")
+		}
+		ids, err := studysvc.NewClient(*remote, nil).Traces(ctx)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, tid := range ids {
+			fmt.Println(tid)
+		}
+		return
+	}
+
+	var (
+		tr  tracex.Trace
+		got bool
+	)
+	if *in != "" {
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := json.Unmarshal(data, &tr); err != nil {
+			fatalf("%s: not a trace JSON: %v", *in, err)
+		}
+		if tr.TraceID == "" || len(tr.Spans) == 0 {
+			fatalf("%s decoded to an empty trace — it wants the GET /v1/trace/{id} JSON shape, not a Perfetto export", *in)
+		}
+		got = true
+	}
+	if *remote != "" {
+		client := studysvc.NewClient(*remote, nil)
+		tid := *id
+		if tid == "" && got {
+			// A file plus -remote means "fetch the other half of this
+			// trace" — the id is already in hand.
+			tid = tr.TraceID
+		}
+		if tid == "" {
+			ids, err := client.Traces(ctx)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if len(ids) == 0 {
+				fatalf("no traces recorded on %s yet", *remote)
+			}
+			tid = ids[len(ids)-1]
+		}
+		remoteTr, err := client.Trace(ctx, tid)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if got {
+			tr = tracex.Merge(tr, *remoteTr)
+		} else {
+			tr = *remoteTr
+			got = true
+		}
+	}
+
+	fmt.Println(tr.RenderTree())
+	fmt.Println(tracex.CriticalPath(tr, core.SpanDeps()).Render())
+	if *perfetto != "" {
+		if err := os.WriteFile(*perfetto, tr.ChromeTrace(), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *perfetto)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ewtrace: "+format+"\n", args...)
+	os.Exit(1)
+}

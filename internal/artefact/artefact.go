@@ -106,6 +106,17 @@ func (g *Graph[E]) Names() []string {
 	return out
 }
 
+// Deps returns the declared dependencies of every node, keyed by node
+// name — the graph shape, for consumers like the trace critical-path
+// analyzer that need edges without values.
+func (g *Graph[E]) Deps() map[string][]string {
+	out := make(map[string][]string, len(g.nodes))
+	for name, n := range g.nodes {
+		out[name] = append([]string(nil), n.Deps...)
+	}
+	return out
+}
+
 // Closure returns the transitive dependency closure of the targets in
 // topological order (dependencies before dependents). Unknown names
 // and dependency cycles are errors.
@@ -225,7 +236,7 @@ func (g *Graph[E]) Evaluate(ctx context.Context, env E, store *Store, opts EvalO
 				key = n.Key(env)
 			}
 			start := time.Now()
-			val, memoized, err := store.resolve(ctx, n.Name, key, func() (any, error) {
+			val, memoized, err := store.resolve(ctx, n.Name, key, func(ctx context.Context) (any, error) {
 				return n.Compute(ctx, env, deps)
 			})
 			sl.val, sl.err = val, err

@@ -292,8 +292,8 @@ func TestRegisterValidation(t *testing.T) {
 
 func TestStoreLRUBound(t *testing.T) {
 	store := NewStore(2)
-	compute := func(v string) func() (any, error) {
-		return func() (any, error) { return v, nil }
+	compute := func(v string) func(context.Context) (any, error) {
+		return func(context.Context) (any, error) { return v, nil }
 	}
 	ctx := context.Background()
 	for i := 0; i < 5; i++ {
@@ -330,7 +330,7 @@ func TestStoreEvictionSkipsInFlight(t *testing.T) {
 	slowDone := make(chan struct{})
 	go func() {
 		defer close(slowDone)
-		store.resolve(ctx, "n", "slow", func() (any, error) {
+		store.resolve(ctx, "n", "slow", func(context.Context) (any, error) {
 			close(started)
 			<-release
 			return "slow-value", nil
@@ -339,7 +339,7 @@ func TestStoreEvictionSkipsInFlight(t *testing.T) {
 	<-started
 	// Inserting a second entry overflows max=1, but the in-flight
 	// entry must survive.
-	if _, _, err := store.resolve(ctx, "n", "fast", func() (any, error) { return "fast", nil }); err != nil {
+	if _, _, err := store.resolve(ctx, "n", "fast", func(context.Context) (any, error) { return "fast", nil }); err != nil {
 		t.Fatal(err)
 	}
 	if store.Len() != 2 {
@@ -348,13 +348,13 @@ func TestStoreEvictionSkipsInFlight(t *testing.T) {
 	close(release)
 	<-slowDone
 	// The slow value was kept and is served from memo...
-	v, memo, err := store.resolve(ctx, "n", "slow", func() (any, error) { return "recomputed", nil })
+	v, memo, err := store.resolve(ctx, "n", "slow", func(context.Context) (any, error) { return "recomputed", nil })
 	if err != nil || !memo || v != "slow-value" {
 		t.Fatalf("slow entry lost: v=%v memo=%v err=%v", v, memo, err)
 	}
 	// ...and the next insert shrinks the store back within its bound
 	// now that everything is completed.
-	if _, _, err := store.resolve(ctx, "n", "third", func() (any, error) { return 3, nil }); err != nil {
+	if _, _, err := store.resolve(ctx, "n", "third", func(context.Context) (any, error) { return 3, nil }); err != nil {
 		t.Fatal(err)
 	}
 	if store.Len() != 1 {

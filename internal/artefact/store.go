@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/logx"
+	"repro/internal/tracex"
 )
 
 // DefaultStoreSize bounds a Store created with no explicit limit.
@@ -65,17 +66,24 @@ func NewStore(max int) *Store {
 // cancellation must not poison the evaluations that happened to be
 // waiting on its in-flight nodes. Only the waiter's own cancellation
 // ends its attempt.
-func (s *Store) resolve(ctx context.Context, node, key string, fn func() (any, error)) (val any, memoized bool, err error) {
+func (s *Store) resolve(ctx context.Context, node, key string, fn func(context.Context) (any, error)) (val any, memoized bool, err error) {
 	// The context logger (when the caller bound one — the study
 	// service's request/run ids arrive this way) sees every memo
-	// outcome at debug level.
+	// outcome at debug level; the context tracer records the same
+	// outcomes as "node X" spans, with computed work nested inside.
 	lg := logx.FromContext(ctx)
+	ctx, sp := tracex.StartSpan(ctx, "node "+node)
+	defer sp.End()
 	if key == "" {
 		s.mu.Lock()
 		s.computes[node]++
 		s.mu.Unlock()
 		lg.Debug("memo bypass", "node", node)
-		v, err := fn()
+		sp.SetAttr("outcome", "bypass")
+		v, err := fn(ctx)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
 		return v, false, err
 	}
 	id := node + "\x00" + key
@@ -105,6 +113,7 @@ func (s *Store) resolve(ctx context.Context, node, key string, fn func() (any, e
 			s.hits++
 			s.mu.Unlock()
 			lg.Debug("memo hit", "node", node)
+			sp.SetAttr("outcome", "hit")
 			return cur.val, true, nil
 		}
 		// The creator failed and already dropped its entry; loop and
@@ -115,8 +124,10 @@ func (s *Store) resolve(ctx context.Context, node, key string, fn func() (any, e
 	}
 
 	lg.Debug("memo compute", "node", node)
-	e.val, e.err = fn()
+	sp.SetAttr("outcome", "compute")
+	e.val, e.err = fn(ctx)
 	if e.err != nil {
+		sp.SetAttr("error", e.err.Error())
 		// Never memoize failure: drop the entry (waiters already hold
 		// the pointer, observe the error, and retry on their own) so
 		// the next attempt recomputes.

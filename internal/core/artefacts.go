@@ -53,6 +53,28 @@ func Artefacts() []string {
 	}
 }
 
+// SpanDeps returns the study's blocking-dependency graph in trace-span
+// naming: "node X" depends on "node Y" per the artefact registry, and
+// the root "node select" additionally blocks on "synth" (world
+// generation precedes every evaluation, and its span is emitted by
+// whoever generates — the service's world cache or a study
+// constructor). This is the deps input for tracex.CriticalPath.
+func SpanDeps() map[string][]string {
+	raw := studyGraph.Deps()
+	out := make(map[string][]string, len(raw))
+	for name, deps := range raw {
+		spanDeps := make([]string, 0, len(deps)+1)
+		for _, d := range deps {
+			spanDeps = append(spanDeps, "node "+d)
+		}
+		if name == ArtefactSelect {
+			spanDeps = append(spanDeps, "synth")
+		}
+		out["node "+name] = spanDeps
+	}
+	return out
+}
+
 // artefactAliases maps the paper's table/figure names onto the
 // artefact nodes that produce them, so callers can ask for "table5"
 // and get the provenance subgraph.

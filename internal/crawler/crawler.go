@@ -22,6 +22,7 @@ import (
 	"repro/internal/hosting"
 	"repro/internal/imagex"
 	"repro/internal/pipeline"
+	"repro/internal/tracex"
 	"repro/internal/urlx"
 )
 
@@ -192,8 +193,13 @@ func (c *Crawler) CrawlStream(ctx context.Context, stats *pipeline.Stats, tasks 
 }
 
 // fetchOne downloads and decodes one task with retries.
-func (c *Crawler) fetchOne(ctx context.Context, t Task) Result {
-	res := Result{Task: t}
+func (c *Crawler) fetchOne(ctx context.Context, t Task) (res Result) {
+	ctx, sp := tracex.StartSpan(ctx, "crawl fetch")
+	defer func() {
+		sp.SetAttr("outcome", res.Outcome.String())
+		sp.End()
+	}()
+	res = Result{Task: t}
 	target, err := c.resolve(t.Link.URL)
 	if err != nil {
 		res.Outcome = OutcomeError

@@ -12,6 +12,7 @@ import (
 	"repro/internal/imagex"
 	"repro/internal/pipeline"
 	"repro/internal/reverse"
+	"repro/internal/tracex"
 	"repro/internal/urlx"
 	"repro/internal/wayback"
 )
@@ -137,8 +138,17 @@ func (h *HTTPClient) CrawlStream(ctx context.Context, stats *pipeline.Stats, tas
 }
 
 // retry runs fn up to 1+MaxRetries times with linear deterministic
-// backoff between attempts.
-func (h *HTTPClient) retry(ctx context.Context, fn func(context.Context) error) error {
+// backoff between attempts. The whole retried lookup is one leaf span
+// named name, so a trace attributes a slow remote cell to the specific
+// substrate call that stalled — retries included.
+func (h *HTTPClient) retry(ctx context.Context, name string, fn func(context.Context) error) (err error) {
+	ctx, sp := tracex.StartSpan(ctx, name)
+	defer func() {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}()
 	var lastErr error
 	for attempt := 0; attempt <= h.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
@@ -161,7 +171,7 @@ func (h *HTTPClient) SearchImage(ctx context.Context, im *imagex.Image) ([]rever
 		return nil, fmt.Errorf("crawler: no reverse service configured")
 	}
 	var out []reverse.Match
-	err := h.retry(ctx, func(ctx context.Context) error {
+	err := h.retry(ctx, "reverse search", func(ctx context.Context) error {
 		var err error
 		out, err = h.reverse.Search(ctx, im)
 		return err
@@ -175,7 +185,7 @@ func (h *HTTPClient) SearchHash(ctx context.Context, hash imagex.Hash128) ([]rev
 		return nil, fmt.Errorf("crawler: no reverse service configured")
 	}
 	var out []reverse.Match
-	err := h.retry(ctx, func(ctx context.Context) error {
+	err := h.retry(ctx, "reverse search", func(ctx context.Context) error {
 		var err error
 		out, err = h.reverse.SearchHash(ctx, hash)
 		return err
@@ -190,7 +200,7 @@ func (h *HTTPClient) SeenBefore(ctx context.Context, rawURL string, cutoff time.
 		return false, fmt.Errorf("crawler: no wayback service configured")
 	}
 	var seen bool
-	err := h.retry(ctx, func(ctx context.Context) error {
+	err := h.retry(ctx, "wayback lookup", func(ctx context.Context) error {
 		var err error
 		seen, err = h.wayback.SeenBefore(ctx, rawURL, cutoff)
 		return err
@@ -210,7 +220,7 @@ func (h *HTTPClient) SeenBefore(ctx context.Context, rawURL string, cutoff time.
 func (h *HTTPClient) VisitKind(ctx context.Context, domain string) (urlx.Kind, bool, error) {
 	var kind urlx.Kind
 	var ok bool
-	err := h.retry(ctx, func(ctx context.Context) error {
+	err := h.retry(ctx, "visit landing", func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 			h.cfg.HostingURL+"/"+domain+"/landing", nil)
 		if err != nil {

@@ -23,9 +23,12 @@ var LogField = &lintx.Analyzer{
 
 // logFieldPackages are the [penultimate, last] import-path segment
 // pairs the rule applies to: the service spine, where structured
-// request-scoped logging is the contract.
+// request-scoped logging is the contract, plus the tracer it carries —
+// tracex runs inside every instrumented request, so a stray printer
+// there would interleave raw text with the service's JSON stream.
 var logFieldPackages = [][2]string{
 	{"internal", "studysvc"},
+	{"internal", "tracex"},
 	{"cmd", "ewserve"},
 }
 

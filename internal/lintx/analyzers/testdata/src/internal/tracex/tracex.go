@@ -1,0 +1,17 @@
+// Fixture: the tracer runs inside instrumented requests; a raw
+// printer here would interleave text with the service's JSON log
+// stream.
+package tracex
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func record() {
+	fmt.Println("span ended")         // want "fmt.Println in internal/tracex"
+	log.Printf("dropped %d spans", 2) // want "log.Printf in internal/tracex"
+	fmt.Fprintf(os.Stderr, "explicit writer is fine\n")
+	_ = fmt.Sprintf("trace %s", "abc")
+}

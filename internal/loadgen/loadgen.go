@@ -18,10 +18,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/studysvc"
+	"repro/internal/tracex"
 )
 
 // Spec describes one load run.
@@ -52,6 +54,12 @@ type Spec struct {
 	// generation and cold artefact computes land outside the measured
 	// window and the percentiles describe steady-state serving.
 	Warmup bool
+	// Tracer, when set, samples one trace from the run: the first
+	// warmup request (the cold-start study — the interesting one)
+	// carries a traceparent minted here, and Result.SampleTraceID names
+	// the shared trace for fetching from the server's /v1/trace ring.
+	// Requires Warmup; the measured window is never traced.
+	Tracer *tracex.Tracer
 }
 
 // DefaultSpec fills unset Spec fields.
@@ -99,6 +107,15 @@ type Result struct {
 	// ErrorSamples holds the first few non-shed error strings, for
 	// the operator reading a failed run.
 	ErrorSamples []string `json:"error_samples,omitempty"`
+	// SampleTraceID is the trace id of the sampled cold-start request
+	// (set only when Spec.Tracer was provided).
+	SampleTraceID string `json:"sample_trace_id,omitempty"`
+	// SampleTrace is that trace with both halves merged — the
+	// generator's warmup span and the server's request/run/node spans,
+	// fetched right after warmup, before the measured window's
+	// requests flood the server's bounded ring and evict it. Excluded
+	// from the JSON artifact; correlate by SampleTraceID instead.
+	SampleTrace *tracex.Trace `json:"-"`
 }
 
 // Run drives the load described by spec through client and aggregates
@@ -127,6 +144,12 @@ func Run(ctx context.Context, client *studysvc.Client, spec Spec) (*Result, erro
 		}
 	}
 
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		res       Result
+	)
+
 	if spec.Warmup {
 		for i := 0; i < spec.Seeds; i++ {
 			// Sequential, full-patience warmup: each world generates
@@ -134,18 +157,26 @@ func Run(ctx context.Context, client *studysvc.Client, spec Spec) (*Result, erro
 			// cache + memo. A warmup shed (impossible sequentially
 			// unless the pool is busy with foreign traffic) or error
 			// is ignored — the measured window will report it.
-			_, _ = c.Run(ctx, request(i))
+			reqCtx := ctx
+			var span *tracex.Span
+			if i == 0 && spec.Tracer != nil {
+				// Sample the first warmup request: the cold-start study,
+				// whose trace shows synth + fresh node computes. The span
+				// context rides the traceparent header into the server.
+				reqCtx = tracex.NewContext(ctx, spec.Tracer)
+				reqCtx, span = tracex.StartSpan(reqCtx, "load warmup request")
+				res.SampleTraceID = span.Context().Trace.String()
+			}
+			_, _ = c.Run(reqCtx, request(i))
+			span.End()
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
 		}
+		if res.SampleTraceID != "" {
+			res.SampleTrace = fetchSampleTrace(ctx, &c, spec.Tracer, res.SampleTraceID)
+		}
 	}
-
-	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		res       Result
-	)
 	sem := make(chan struct{}, spec.Concurrency)
 	var wg sync.WaitGroup
 
@@ -225,6 +256,37 @@ drive:
 		res.MaxMS = float64(latencies[len(latencies)-1]) / float64(time.Millisecond)
 	}
 	return &res, nil
+}
+
+// fetchSampleTrace merges the generator-side half of the sampled
+// cold-start trace with the server's, polling briefly: the server
+// records its request span just after the response is written, so an
+// immediate fetch can land one beat early. Falls back to whatever is
+// available (server half incomplete, or the local half alone when the
+// server runs with tracing disabled).
+func fetchSampleTrace(ctx context.Context, c *studysvc.Client, tracer *tracex.Tracer, id string) *tracex.Trace {
+	local, ok := tracer.Trace(id)
+	if !ok {
+		return nil
+	}
+	merged := local
+	for i := 0; i < 20; i++ {
+		remote, err := c.Trace(ctx, id)
+		if err == nil {
+			merged = tracex.Merge(local, *remote)
+			for _, s := range remote.Spans {
+				if strings.HasPrefix(s.Name, "http ") {
+					return &merged
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return &merged
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	return &merged
 }
 
 // isShed reports whether err is the service's 429 admission rejection.

@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/studysvc"
+	"repro/internal/tracex"
 )
 
 // stubService fakes POST /v1/study: every shedEvery-th request is
@@ -101,6 +103,80 @@ func TestRunValidatesSpec(t *testing.T) {
 	}
 	if _, err := Run(context.Background(), client, Spec{TargetRPS: 1}); err == nil {
 		t.Fatal("missing Duration accepted")
+	}
+}
+
+// TestRunSamplesTrace: with a Tracer, exactly one request — the first
+// warmup, the cold-start study — carries a traceparent, and the
+// result holds the merged client+server trace fetched before the
+// measured window can evict it from the server's ring.
+func TestRunSamplesTrace(t *testing.T) {
+	var mu sync.Mutex
+	var traceparents []string
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/study", func(w http.ResponseWriter, req *http.Request) {
+		if tp := req.Header.Get(tracex.TraceparentHeader); tp != "" {
+			mu.Lock()
+			traceparents = append(traceparents, tp)
+			mu.Unlock()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(studysvc.Envelope{
+			ID: "s-1", Status: studysvc.StatusDone, Summary: &studysvc.Summary{},
+		})
+	})
+	mux.HandleFunc("GET /v1/trace/{id}", func(w http.ResponseWriter, req *http.Request) {
+		// Fake the server half: one request span parented onto the
+		// propagated span from the recorded traceparent.
+		mu.Lock()
+		defer mu.Unlock()
+		if len(traceparents) == 0 {
+			http.Error(w, `{"error":"no trace"}`, http.StatusNotFound)
+			return
+		}
+		sc, _ := tracex.ParseTraceparent(traceparents[0])
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(tracex.Trace{
+			TraceID: sc.Trace.String(),
+			Spans: []tracex.SpanRecord{{
+				TraceID: sc.Trace.String(), SpanID: "00000000000000ff",
+				Parent: sc.Span.String(), Name: "http POST /v1/study",
+			}},
+		})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	tracer := tracex.New(tracex.Config{IDs: tracex.NewSeqIDs(3)})
+	res, err := Run(context.Background(), studysvc.NewClient(srv.URL, nil), Spec{
+		TargetRPS: 200,
+		Duration:  100 * time.Millisecond,
+		Seeds:     1,
+		Warmup:    true,
+		Tracer:    tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	tps := append([]string(nil), traceparents...)
+	mu.Unlock()
+	if len(tps) != 1 {
+		t.Fatalf("%d requests carried a traceparent, want exactly 1 (the sampled warmup)", len(tps))
+	}
+	sc, ok := tracex.ParseTraceparent(tps[0])
+	if !ok || sc.Trace.String() != res.SampleTraceID {
+		t.Fatalf("propagated trace %q does not match SampleTraceID %q", tps[0], res.SampleTraceID)
+	}
+	if res.SampleTrace == nil {
+		t.Fatal("SampleTrace not fetched")
+	}
+	tree := res.SampleTrace.Tree()
+	if len(tree) != 1 || tree[0].Name != "load warmup request" {
+		t.Fatalf("merged sample trace not rooted at the warmup span: %+v", tree)
+	}
+	if len(tree[0].Children) != 1 || tree[0].Children[0].Name != "http POST /v1/study" {
+		t.Fatalf("server half not parented under the warmup span: %+v", tree[0].Children)
 	}
 }
 

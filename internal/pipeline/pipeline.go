@@ -15,9 +15,28 @@ package pipeline
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/tracex"
 )
+
+// stageSpan opens a trace span for a named stage; anonymous internal
+// stages (name == "") and untraced contexts cost nothing. The span
+// covers the stage's full lifetime — creation to output close — so a
+// trace shows which stages overlap, and the returned context parents
+// per-item work (crawl fetches) under the stage.
+func stageSpan(ctx context.Context, name string, workers int) (context.Context, *tracex.Span) {
+	if name == "" {
+		return ctx, nil
+	}
+	ctx, sp := tracex.StartSpan(ctx, "stage "+name)
+	if sp != nil && workers > 1 {
+		sp.SetAttr("workers", strconv.Itoa(workers))
+	}
+	return ctx, sp
+}
 
 // defaultWorkers resolves a non-positive worker count to the number of
 // usable CPUs.
@@ -64,6 +83,7 @@ func Collect[T any](in <-chan T) []T {
 func Map[In, Out any](ctx context.Context, stats *Stats, name string, workers int, in <-chan In, fn func(context.Context, In) Out) <-chan Out {
 	workers = defaultWorkers(workers)
 	st := stats.Stage(name, workers)
+	ctx, sp := stageSpan(ctx, name, workers)
 	type job struct {
 		seq int
 		v   In
@@ -130,6 +150,7 @@ func Map[In, Out any](ctx context.Context, stats *Stats, name string, workers in
 	go func() {
 		defer close(out)
 		defer st.Close()
+		defer sp.End()
 		pending := make(map[int]Out)
 		next := 0
 		for r := range results {
@@ -161,6 +182,7 @@ func Map[In, Out any](ctx context.Context, stats *Stats, name string, workers in
 func FlatMap[In, Out any](ctx context.Context, stats *Stats, name string, workers int, in <-chan In, fn func(context.Context, In) []Out) <-chan Out {
 	workers = defaultWorkers(workers)
 	st := stats.Stage(name, workers)
+	ctx, sp := stageSpan(ctx, name, workers)
 	timed := func(ctx context.Context, v In) []Out {
 		st.AddIn(1)
 		start := time.Now()
@@ -173,6 +195,7 @@ func FlatMap[In, Out any](ctx context.Context, stats *Stats, name string, worker
 	go func() {
 		defer close(out)
 		defer st.Close()
+		defer sp.End()
 		for vs := range slices {
 			for _, v := range vs {
 				select {
@@ -196,10 +219,12 @@ func FlatMap[In, Out any](ctx context.Context, stats *Stats, name string, worker
 // stage is deterministic by construction.
 func Process[In, Out any](ctx context.Context, stats *Stats, name string, in <-chan In, fn func(In, func(Out)), flush func(func(Out))) <-chan Out {
 	st := stats.Stage(name, 1)
+	_, sp := stageSpan(ctx, name, 1)
 	out := make(chan Out)
 	go func() {
 		defer close(out)
 		defer st.Close()
+		defer sp.End()
 		cancelled := false
 		emit := func(v Out) {
 			if cancelled {

@@ -10,9 +10,11 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sweep"
+	"repro/internal/tracex"
 )
 
 // Client drives a remote study service — what cmd/ewpipeline -remote
@@ -65,8 +67,18 @@ func (c *Client) Run(ctx context.Context, r Request) (*Envelope, error) {
 	return c.run(ctx, r, "")
 }
 
+// clientReqCounter numbers study submissions process-wide; the ids it
+// yields ("c-N") are deterministic for a given submission sequence, so
+// a reproduced run produces the same server-side log correlation.
+var clientReqCounter atomic.Int64
+
 // run submits a study request with an optional raw query string,
 // retrying shed (429) submissions under the client's backoff policy.
+// One submission is one logical request however many times it is
+// retried: every attempt carries the same X-Request-ID, so the
+// server's logs correlate the retry sequence, and the same traceparent
+// (when ctx carries an open span), so every attempt lands in the
+// caller's trace.
 func (c *Client) run(ctx context.Context, r Request, query string) (*Envelope, error) {
 	body, err := json.Marshal(r)
 	if err != nil {
@@ -76,6 +88,7 @@ func (c *Client) run(ctx context.Context, r Request, query string) (*Envelope, e
 	if query != "" {
 		u += "?" + query
 	}
+	reqID := "c-" + strconv.FormatInt(clientReqCounter.Add(1), 10)
 	maxRetries := c.MaxRetries
 	if maxRetries == 0 {
 		maxRetries = 3
@@ -95,6 +108,8 @@ func (c *Client) run(ctx context.Context, r Request, query string) (*Envelope, e
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Request-ID", reqID)
+		tracex.Inject(ctx, req.Header)
 		env, err := c.do(req)
 		var he *HTTPError
 		if err == nil || attempt >= maxRetries ||
@@ -151,6 +166,74 @@ func (c *Client) Artefact(ctx context.Context, id, name string) (*ArtefactEnvelo
 		return nil, fmt.Errorf("studysvc: bad artefact response: %w", err)
 	}
 	return &env, nil
+}
+
+// Trace fetches one trace from the server's ring by (32-hex-digit)
+// trace id — typically the id the caller's own tracer minted, after a
+// traceparent-propagated run.
+func (c *Client) Trace(ctx context.Context, id string) (*tracex.Trace, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/trace/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var tr tracex.Trace
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("studysvc: bad trace response: %w", err)
+	}
+	return &tr, nil
+}
+
+// Traces lists the trace ids in the server's recent-trace ring,
+// oldest first.
+func (c *Client) Traces(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var list struct {
+		Traces []string `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return nil, fmt.Errorf("studysvc: bad trace list response: %w", err)
+	}
+	return list.Traces, nil
+}
+
+// TraceExport fetches one trace in Chrome trace-event form (the
+// ?format=perfetto export), raw.
+func (c *Client) TraceExport(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/trace/"+url.PathEscape(id)+"?format=perfetto", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 }
 
 // Stats fetches the service counters.
@@ -226,6 +309,7 @@ func (c *Client) RunSweep(ctx context.Context, spec sweep.Spec) (*SweepEnvelope,
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	tracex.Inject(ctx, req.Header)
 	return c.doSweep(req)
 }
 

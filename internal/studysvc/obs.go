@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/logx"
 	"repro/internal/pipeline"
+	"repro/internal/tracex"
 )
 
 // ErrSaturated is the admission-control rejection: the worker pool is
@@ -44,9 +45,12 @@ type openRequest struct {
 }
 
 // instrument wraps the API mux with the request middleware: it assigns
-// (or adopts) a request id, binds a request-scoped logger into the
-// context, tracks the request in the open set and logs start/finish
-// with status and duration.
+// (or adopts) a request id, binds a request-scoped logger and the
+// service tracer into the context, opens a request span (joined to the
+// caller's trace when a traceparent header arrived, echoed back on the
+// response so the caller learns the shared trace id), tracks the
+// request in the open set and logs start/finish with status and
+// duration.
 func (s *Service) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		id := req.Header.Get("X-Request-ID")
@@ -59,6 +63,20 @@ func (s *Service) instrument(next http.Handler) http.Handler {
 		w.Header().Set("X-Request-ID", id)
 		lg := s.log().With("request_id", id)
 		ctx := logx.NewContext(context.WithValue(req.Context(), reqIDKey{}, id), lg)
+		var span *tracex.Span
+		// Reading the trace ring must not write to it: a span per
+		// GET /v1/trace would make every fetch the newest trace.
+		if !strings.HasPrefix(req.URL.Path, "/v1/trace") {
+			ctx = tracex.NewContext(ctx, s.cfg.Tracer)
+			if remote, ok := tracex.Extract(req.Header); ok {
+				ctx = tracex.WithRemote(ctx, remote)
+			}
+			ctx, span = tracex.StartSpan(ctx, "http "+req.Method+" "+req.URL.Path)
+			span.SetAttr("request_id", id)
+			if sc := span.Context(); sc.IsValid() {
+				w.Header().Set(tracex.TraceparentHeader, tracex.FormatTraceparent(sc))
+			}
+		}
 
 		s.reqMu.Lock()
 		s.openReqs[id] = openRequest{method: req.Method, path: req.URL.Path, start: time.Now()}
@@ -73,6 +91,8 @@ func (s *Service) instrument(next http.Handler) http.Handler {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(sw, req.WithContext(ctx))
+		span.SetAttr("status", strconv.Itoa(sw.code))
+		span.End()
 		lg.Info("request",
 			"method", req.Method,
 			"path", req.URL.Path,
@@ -194,10 +214,14 @@ func (s *Service) retryAfterSeconds() int {
 // latency distribution (memo hits are excluded from the histogram —
 // they would pin every percentile at ~0).
 type NodeStats struct {
-	Name     string                     `json:"name"`
-	MemoHits int64                      `json:"memo_hits"`
-	Computes int64                      `json:"computes"`
-	Latency  pipeline.HistogramSnapshot `json:"latency"`
+	Name     string `json:"name"`
+	MemoHits int64  `json:"memo_hits"`
+	Computes int64  `json:"computes"`
+	// P50MS / P95MS summarize the compute-latency distribution — the
+	// two dashboard numbers — lifted out of the full histogram below.
+	P50MS   float64                    `json:"p50_ms"`
+	P95MS   float64                    `json:"p95_ms"`
+	Latency pipeline.HistogramSnapshot `json:"latency"`
 }
 
 // nodeAgg is the mutable accumulator behind one NodeStats row.
@@ -240,11 +264,14 @@ func (s *Service) foldNodeStats(stages []pipeline.StageSnapshot) {
 func (s *Service) nodeStatsLocked() []NodeStats {
 	out := make([]NodeStats, 0, len(s.nodes))
 	for name, agg := range s.nodes {
+		snap := agg.latency.Snapshot()
 		out = append(out, NodeStats{
 			Name:     name,
 			MemoHits: agg.memoHits,
 			Computes: agg.computes,
-			Latency:  agg.latency.Snapshot(),
+			P50MS:    snap.P50MS,
+			P95MS:    snap.P95MS,
+			Latency:  snap,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

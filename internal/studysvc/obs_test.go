@@ -332,6 +332,8 @@ func TestStatsJSONShape(t *testing.T) {
 		"nodes[].latency.total_ms",
 		"nodes[].memo_hits",
 		"nodes[].name",
+		"nodes[].p50_ms",
+		"nodes[].p95_ms",
 		"open_requests",
 		"queue_depth",
 		"queue_wait",
@@ -358,11 +360,15 @@ func TestStatsJSONShape(t *testing.T) {
 
 // TestClientRetriesShedRequests: the client backs off on 429 as the
 // server asks (capped, deterministic) and succeeds when a slot opens.
+// One submission is one logical request: every attempt in the retry
+// sequence carries the same client-minted X-Request-ID.
 func TestClientRetriesShedRequests(t *testing.T) {
 	var attempts int
+	var attemptIDs []string
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/study", func(w http.ResponseWriter, req *http.Request) {
 		attempts++
+		attemptIDs = append(attemptIDs, req.Header.Get("X-Request-ID"))
 		if attempts <= 2 {
 			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusTooManyRequests, "study pool saturated: queue full")
@@ -382,6 +388,14 @@ func TestClientRetriesShedRequests(t *testing.T) {
 	if env.Status != StatusDone || attempts != 3 {
 		t.Fatalf("status %s after %d attempts, want done after 3", env.Status, attempts)
 	}
+	if attemptIDs[0] == "" || !strings.HasPrefix(attemptIDs[0], "c-") {
+		t.Errorf("first attempt X-Request-ID = %q, want a client-minted c-N id", attemptIDs[0])
+	}
+	for i, id := range attemptIDs {
+		if id != attemptIDs[0] {
+			t.Errorf("attempt %d X-Request-ID = %q, want %q (one submission, one id)", i+1, id, attemptIDs[0])
+		}
+	}
 
 	// MaxRetries < 0 disables retrying: the raw 429 surfaces, with the
 	// server's body and hint attached.
@@ -400,6 +414,43 @@ func TestClientRetriesShedRequests(t *testing.T) {
 	}
 	if attempts != 1 {
 		t.Errorf("non-retrying client made %d attempts, want 1", attempts)
+	}
+}
+
+// captureRT records the X-Request-ID a request carried and the one the
+// response echoed back.
+type captureRT struct {
+	sent   *string
+	echoed *string
+}
+
+func (c captureRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	*c.sent = req.Header.Get("X-Request-ID")
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err == nil {
+		*c.echoed = resp.Header.Get("X-Request-ID")
+	}
+	return resp, err
+}
+
+// TestClientRequestIDEchoed: a real service adopts the client-minted
+// request id instead of assigning its own — the response echo matches
+// what the client sent, so both sides' logs share the join key.
+func TestClientRequestIDEchoed(t *testing.T) {
+	svc := New(Config{})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+
+	var sent, echoed string
+	c := NewClient(srv.URL, &http.Client{Transport: captureRT{&sent, &echoed}})
+	if _, err := c.Run(context.Background(), tinyRequest(62)); err != nil {
+		t.Fatal(err)
+	}
+	if sent == "" || !strings.HasPrefix(sent, "c-") {
+		t.Errorf("client sent X-Request-ID %q, want a c-N id", sent)
+	}
+	if echoed != sent {
+		t.Errorf("server echoed X-Request-ID %q, want the client's %q", echoed, sent)
 	}
 }
 

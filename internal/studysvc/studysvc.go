@@ -11,6 +11,8 @@
 //	POST /v1/sweep        run a scenario sweep server-side (sweepsvc.go)
 //	GET  /v1/sweep/{id}   fetch a sweep by id
 //	GET  /v1/stats        service counters
+//	GET  /v1/trace        recent trace ids (tracehttp.go)
+//	GET  /v1/trace/{id}   one trace (JSON; ?format=perfetto for Chrome trace-event)
 //
 // Three mechanisms keep the service safe under heavy traffic:
 //
@@ -44,6 +46,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/sweep"
 	"repro/internal/synth"
+	"repro/internal/tracex"
 )
 
 // Config tunes the service.
@@ -108,6 +111,11 @@ type Config struct {
 	// runs, sheds; nil = silent). Request-scoped children of it travel
 	// in the request context into core and the artefact store.
 	Logger *logx.Logger
+	// Tracer records request/run/node/crawl spans into a bounded ring
+	// served at GET /v1/trace/{id} (nil = tracing off, at zero cost on
+	// the study hot path). Incoming traceparent headers join the
+	// caller's trace; responses echo the adopted trace id back.
+	Tracer *tracex.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -293,7 +301,13 @@ type run struct {
 	// sweeps) — the log field that joins a run's node events back to
 	// the HTTP request that caused them.
 	origin string
-	done   chan struct{} // closed when the run finishes
+	// originSpan is the starting request's span identity (zero for
+	// internal sweeps or with tracing off): the run's spans join the
+	// originating trace even though the run itself is detached from the
+	// request context. Coalesced later requests observe the first
+	// requester's trace, matching how coalescing works everywhere else.
+	originSpan tracex.SpanContext
+	done       chan struct{} // closed when the run finishes
 
 	// Written once before done closes, read-only after.
 	status  string
@@ -485,12 +499,13 @@ func (s *Service) getOrStart(ctx context.Context, c Canonical, block bool) (r *r
 	}
 	s.nextID++
 	r = &run{
-		id:     "s-" + strconv.Itoa(s.nextID),
-		key:    key,
-		opts:   c,
-		origin: requestIDFrom(ctx),
-		done:   make(chan struct{}),
-		status: StatusRunning,
+		id:         "s-" + strconv.Itoa(s.nextID),
+		key:        key,
+		opts:       c,
+		origin:     requestIDFrom(ctx),
+		originSpan: tracex.SpanContextFromContext(ctx),
+		done:       make(chan struct{}),
+		status:     StatusRunning,
 	}
 	s.inflight[key] = r
 	s.byID[r.id] = r
@@ -533,20 +548,33 @@ func (s *Service) execute(r *run) {
 	// requests share them), so the run context is BaseContext plus the
 	// run-scoped logger: core's artefact evaluation and the memo store
 	// log each node event under this run's — and origin request's — id.
+	// The tracer rides the same way, re-parented onto the originating
+	// request's span so the run's node spans land in the caller's trace.
 	ctx := logx.NewContext(s.cfg.BaseContext, lg)
+	ctx = tracex.NewContext(ctx, s.cfg.Tracer)
+	ctx = tracex.WithRemote(ctx, r.originSpan)
+	ctx, runSpan := tracex.StartSpan(ctx, "run")
+	runSpan.SetAttr("run", r.id)
+	runSpan.SetAttr("options", r.key)
+	defer runSpan.End()
 	lg.Info("run start", "options", r.key)
 
 	start := time.Now()
 	// Worlds are shared across runs with the same canonical synth
 	// config: server-side sweep cells (and study requests) that only
 	// vary annotation/workers/crawl reuse one generated world.
+	// World acquisition is the study's cold-start dominator, so it gets
+	// its own span; a cache hit shows up as a near-zero "synth" span, a
+	// miss as the generation cost the critical-path report attributes.
 	opts := r.opts.coreOptions()
 	var study *core.Study
+	_, synthSpan := tracex.StartSpan(ctx, "synth")
 	if s.worlds != nil {
 		study = core.NewStudyWithWorld(opts, s.worlds.Get(opts.Synth))
 	} else {
 		study = core.NewStudy(opts)
 	}
+	synthSpan.End()
 	if s.memo != nil {
 		study.UseMemo(s.memo)
 	}
@@ -592,6 +620,8 @@ func (s *Service) execute(r *run) {
 		r.errMsg = err.Error()
 		r.status = StatusFailed
 	}
+
+	runSpan.SetAttr("status", r.status)
 
 	// Publish the outcome before the bookkeeping: once the run is
 	// reachable through the cache it must already read as finished.
@@ -667,6 +697,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/sweep/{id}", s.handleSweepGet)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/trace", s.handleTraceList)
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTraceGet)
 	return s.instrument(mux)
 }
 

@@ -1,0 +1,53 @@
+package studysvc
+
+// Trace endpoints: the service tracer's bounded ring of recent traces,
+// served over HTTP.
+//
+//	GET /v1/trace              list recent trace ids (oldest first)
+//	GET /v1/trace/{id}         one trace as span JSON
+//	GET /v1/trace/{id}?format=perfetto
+//	                           Chrome trace-event export for
+//	                           ui.perfetto.dev / chrome://tracing
+
+import (
+	"net/http"
+)
+
+// traceList is the GET /v1/trace wire form.
+type traceList struct {
+	Traces []string `json:"traces"`
+}
+
+func (s *Service) handleTraceList(w http.ResponseWriter, req *http.Request) {
+	if s.cfg.Tracer == nil {
+		httpError(w, http.StatusNotFound, "tracing is not enabled on this server")
+		return
+	}
+	ids := s.cfg.Tracer.TraceIDs()
+	if ids == nil {
+		ids = []string{}
+	}
+	writeJSON(w, traceList{Traces: ids})
+}
+
+func (s *Service) handleTraceGet(w http.ResponseWriter, req *http.Request) {
+	if s.cfg.Tracer == nil {
+		httpError(w, http.StatusNotFound, "tracing is not enabled on this server")
+		return
+	}
+	id := req.PathValue("id")
+	tr, ok := s.cfg.Tracer.Trace(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no trace "+id+" in the ring (traces are bounded; rerun and fetch promptly)")
+		return
+	}
+	switch req.URL.Query().Get("format") {
+	case "", "json":
+		writeJSON(w, tr)
+	case "perfetto", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(tr.ChromeTrace())
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format (want json or perfetto)")
+	}
+}

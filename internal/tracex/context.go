@@ -1,0 +1,68 @@
+package tracex
+
+import "context"
+
+// scope is what travels in a context: the tracer plus the current
+// span's identity. One value (instead of two keys) keeps StartSpan at
+// a single context lookup and WithValue allocation per hop.
+type scope struct {
+	t  *Tracer
+	sc SpanContext
+}
+
+// ctxKey is private so only this package can bind or read the scope.
+type ctxKey struct{}
+
+// NewContext binds a tracer to the context. Spans started under the
+// returned context form new traces until a parent span or remote
+// context is adopted. A nil tracer returns ctx unchanged, keeping the
+// disabled path allocation-free.
+func NewContext(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, scope{t: t})
+}
+
+// FromContext returns the tracer bound to ctx, or nil.
+func FromContext(ctx context.Context) *Tracer {
+	if s, ok := ctx.Value(ctxKey{}).(scope); ok {
+		return s.t
+	}
+	return nil
+}
+
+// SpanContextFromContext returns the current span's identity (zero if
+// no span is open in ctx).
+func SpanContextFromContext(ctx context.Context) SpanContext {
+	if s, ok := ctx.Value(ctxKey{}).(scope); ok {
+		return s.sc
+	}
+	return SpanContext{}
+}
+
+// WithRemote adopts a span context that arrived from another process
+// (or another goroutine's span): spans started under the returned
+// context join sc's trace as its children. No-op when ctx carries no
+// tracer or sc is invalid.
+func WithRemote(ctx context.Context, sc SpanContext) context.Context {
+	s, ok := ctx.Value(ctxKey{}).(scope)
+	if !ok || s.t == nil || !sc.IsValid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, scope{t: s.t, sc: sc})
+}
+
+// StartSpan opens a span as a child of the span current in ctx (a new
+// trace root if none) and returns a context carrying the new span as
+// current. When ctx has no tracer it returns (ctx, nil) — one context
+// lookup, zero allocations — and the nil *Span absorbs SetAttr/End,
+// so callers never branch on whether tracing is on.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	s, ok := ctx.Value(ctxKey{}).(scope)
+	if !ok || s.t == nil {
+		return ctx, nil
+	}
+	sp := s.t.startSpan(s.sc, name)
+	return context.WithValue(ctx, ctxKey{}, scope{t: s.t, sc: sp.sc}), sp
+}

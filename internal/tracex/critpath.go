@@ -1,0 +1,240 @@
+package tracex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CritNode is one named operation's row in a critical-path report.
+type CritNode struct {
+	Name string `json:"name"`
+	// WallUS is the operation's wall time: the longest single span with
+	// this name in the trace (a node computes once per study; retried or
+	// repeated spans take the max, not the sum, since repeats of one
+	// name overlap the same dependency edge).
+	WallUS int64 `json:"wall_us"`
+	// Share is WallUS over the trace's total wall, the "cold start is
+	// X% synth" number.
+	Share float64 `json:"share"`
+	// SlackUS is how much this node could slow down before the critical
+	// path moves: critical-path length minus the longest dependency
+	// chain through this node. Zero for nodes on the critical path.
+	SlackUS int64 `json:"slack_us"`
+	// OnPath marks membership in the reported longest chain.
+	OnPath bool `json:"on_path"`
+}
+
+// CritReport is the critical-path analysis of one trace against a
+// declared dependency graph: which chain of operations bounds the wall
+// clock, and how much slack everything else has.
+type CritReport struct {
+	TraceID string `json:"trace_id"`
+	// TotalUS is the trace's observed wall: max span end minus min span
+	// start.
+	TotalUS int64 `json:"total_us"`
+	// CriticalUS is the length of the longest blocking chain under the
+	// dependency graph.
+	CriticalUS int64 `json:"critical_us"`
+	// Path is that chain, dependency-first.
+	Path  []string   `json:"path"`
+	Nodes []CritNode `json:"nodes"`
+}
+
+// CriticalPath analyzes tr against deps, a map from operation name to
+// the names it blocks on (the study graph's SpanDeps). Only names with
+// at least one span participate — a warm run where "synth" never ran
+// simply drops it from every chain. Ties break lexicographically so
+// the report is deterministic.
+func CriticalPath(tr Trace, deps map[string][]string) CritReport {
+	rep := CritReport{TraceID: tr.TraceID}
+	if len(tr.Spans) == 0 {
+		return rep
+	}
+
+	// Wall per name (max single span), plus the trace's total wall.
+	wall := make(map[string]int64)
+	minStart, maxEnd := tr.Spans[0].StartUS, int64(0)
+	for _, s := range tr.Spans {
+		if s.StartUS < minStart {
+			minStart = s.StartUS
+		}
+		if end := s.StartUS + s.DurUS; end > maxEnd {
+			maxEnd = end
+		}
+		if s.DurUS > wall[s.Name] {
+			wall[s.Name] = s.DurUS
+		}
+	}
+	rep.TotalUS = maxEnd - minStart
+
+	// Restrict the graph to names that actually ran.
+	names := make([]string, 0, len(wall))
+	for n := range wall {
+		if _, declared := deps[n]; !declared && !isDep(n, deps) {
+			continue // spans outside the declared graph (http, stages) don't chain
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ran := make(map[string]bool, len(names))
+	for _, n := range names {
+		ran[n] = true
+	}
+
+	// down[n]: longest chain ending at n (n plus its deepest dep chain).
+	down := make(map[string]int64)
+	var computeDown func(n string) int64
+	var stack []string
+	computeDown = func(n string) int64 {
+		if d, ok := down[n]; ok {
+			return d
+		}
+		for _, s := range stack {
+			if s == n {
+				return 0 // dependency cycle: declared deps are a DAG, but stay safe
+			}
+		}
+		stack = append(stack, n)
+		best := int64(0)
+		for _, d := range deps[n] {
+			if !ran[d] {
+				continue
+			}
+			if v := computeDown(d); v > best {
+				best = v
+			}
+		}
+		stack = stack[:len(stack)-1]
+		down[n] = wall[n] + best
+		return down[n]
+	}
+	// up[n]: longest chain from n onward (n plus its deepest dependent
+	// chain), via reverse edges.
+	rev := make(map[string][]string)
+	for n, ds := range deps {
+		if !ran[n] {
+			continue
+		}
+		for _, d := range ds {
+			if ran[d] {
+				rev[d] = append(rev[d], n)
+			}
+		}
+	}
+	up := make(map[string]int64)
+	var computeUp func(n string) int64
+	computeUp = func(n string) int64 {
+		if u, ok := up[n]; ok {
+			return u
+		}
+		for _, s := range stack {
+			if s == n {
+				return 0
+			}
+		}
+		stack = append(stack, n)
+		best := int64(0)
+		for _, d := range rev[n] {
+			if v := computeUp(d); v > best {
+				best = v
+			}
+		}
+		stack = stack[:len(stack)-1]
+		up[n] = wall[n] + best
+		return up[n]
+	}
+
+	var crit int64
+	for _, n := range names {
+		if v := computeDown(n); v > crit {
+			crit = v
+		}
+		computeUp(n)
+	}
+	rep.CriticalUS = crit
+
+	// Backtrack the path from the deepest sink, deterministically.
+	var sink string
+	for _, n := range names {
+		if sink == "" || down[n] > down[sink] {
+			sink = n
+		}
+	}
+	onPath := make(map[string]bool)
+	for n := sink; n != ""; {
+		rep.Path = append(rep.Path, n)
+		onPath[n] = true
+		next := ""
+		want := down[n] - wall[n]
+		for _, d := range deps[n] {
+			if ran[d] && down[d] == want && (next == "" || d < next) {
+				next = d
+			}
+		}
+		n = next
+	}
+	// Reverse into dependency-first order.
+	for i, j := 0, len(rep.Path)-1; i < j; i, j = i+1, j-1 {
+		rep.Path[i], rep.Path[j] = rep.Path[j], rep.Path[i]
+	}
+
+	for _, n := range names {
+		slack := crit - (down[n] + up[n] - wall[n])
+		if slack < 0 {
+			slack = 0
+		}
+		var share float64
+		if rep.TotalUS > 0 {
+			share = float64(wall[n]) / float64(rep.TotalUS)
+		}
+		rep.Nodes = append(rep.Nodes, CritNode{
+			Name: n, WallUS: wall[n], Share: share, SlackUS: slack, OnPath: onPath[n],
+		})
+	}
+	sort.Slice(rep.Nodes, func(i, j int) bool {
+		if rep.Nodes[i].WallUS != rep.Nodes[j].WallUS {
+			return rep.Nodes[i].WallUS > rep.Nodes[j].WallUS
+		}
+		return rep.Nodes[i].Name < rep.Nodes[j].Name
+	})
+	return rep
+}
+
+// isDep reports whether name appears as a dependency of any declared
+// node (so leaves like "synth" that have no deps entry still chain).
+func isDep(name string, deps map[string][]string) bool {
+	for _, ds := range deps {
+		for _, d := range ds {
+			if d == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Render formats the report as the table `ewsweep -trace` prints.
+func (r CritReport) Render() string {
+	var b strings.Builder
+	if r.TotalUS == 0 && r.CriticalUS == 0 {
+		return "critical path: no graph spans in trace\n"
+	}
+	pct := 0.0
+	if r.TotalUS > 0 {
+		pct = 100 * float64(r.CriticalUS) / float64(r.TotalUS)
+	}
+	fmt.Fprintf(&b, "total wall %s, critical path %s (%.1f%% of total)\n",
+		fmtUS(r.TotalUS), fmtUS(r.CriticalUS), pct)
+	fmt.Fprintf(&b, "path: %s\n", strings.Join(r.Path, " -> "))
+	fmt.Fprintf(&b, "%-24s %10s %7s %10s %s\n", "node", "wall", "share", "slack", "")
+	for _, n := range r.Nodes {
+		mark := ""
+		if n.OnPath {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "%-24s %10s %6.1f%% %10s %s\n",
+			n.Name, fmtUS(n.WallUS), 100*n.Share, fmtUS(n.SlackUS), mark)
+	}
+	return b.String()
+}

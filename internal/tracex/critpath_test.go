@@ -1,0 +1,121 @@
+package tracex
+
+import (
+	"strings"
+	"testing"
+)
+
+// diamondDeps mirrors the study graph's shape in miniature:
+// synth <- select <- {classifier, links}, links <- crawl, and a final
+// node joining both branches.
+func diamondDeps() map[string][]string {
+	return map[string][]string{
+		"node select":     {"synth"},
+		"node classifier": {"node select"},
+		"node links":      {"node classifier"},
+		"node crawl":      {"node links"},
+		"node earnings":   {"node select", "node links"},
+	}
+}
+
+func span(name string, start, dur int64) SpanRecord {
+	return SpanRecord{TraceID: "t", SpanID: name, Name: name, StartUS: start, DurUS: dur}
+}
+
+func TestCriticalPathColdStudy(t *testing.T) {
+	tr := Trace{TraceID: "t", Spans: []SpanRecord{
+		span("synth", 0, 400),
+		span("node select", 400, 10),
+		span("node classifier", 410, 20),
+		span("node links", 430, 5),
+		span("node crawl", 435, 300),
+		span("node earnings", 435, 50),
+		span("http POST /v1/run", 0, 740), // outside the graph: must not chain
+	}}
+	rep := CriticalPath(tr, diamondDeps())
+	if rep.TotalUS != 740 {
+		t.Fatalf("TotalUS = %d, want 740", rep.TotalUS)
+	}
+	// synth(400)+select(10)+classifier(20)+links(5)+crawl(300) = 735.
+	if rep.CriticalUS != 735 {
+		t.Fatalf("CriticalUS = %d, want 735", rep.CriticalUS)
+	}
+	wantPath := []string{"synth", "node select", "node classifier", "node links", "node crawl"}
+	if strings.Join(rep.Path, ",") != strings.Join(wantPath, ",") {
+		t.Fatalf("Path = %v, want %v", rep.Path, wantPath)
+	}
+	slack := make(map[string]int64)
+	onPath := make(map[string]bool)
+	share := make(map[string]float64)
+	for _, n := range rep.Nodes {
+		slack[n.Name] = n.SlackUS
+		onPath[n.Name] = n.OnPath
+		share[n.Name] = n.Share
+	}
+	for _, n := range wantPath {
+		if slack[n] != 0 || !onPath[n] {
+			t.Fatalf("%s: slack %d onPath %v, want 0/true", n, slack[n], onPath[n])
+		}
+	}
+	// earnings chain: synth+select+links-chain... its longest chain is
+	// synth(400)+select(10)+classifier(20)+links(5)+earnings(50)=485;
+	// slack = 735-485 = 250.
+	if slack["node earnings"] != 250 || onPath["node earnings"] {
+		t.Fatalf("earnings slack %d onPath %v, want 250/false", slack["node earnings"], onPath["node earnings"])
+	}
+	if got := share["synth"]; got < 0.54 || got > 0.55 {
+		t.Fatalf("synth share = %v, want ~0.5405 (400/740)", got)
+	}
+	// The dominant node leads the table.
+	if rep.Nodes[0].Name != "synth" {
+		t.Fatalf("top node = %s, want synth", rep.Nodes[0].Name)
+	}
+	out := rep.Render()
+	for _, want := range []string{"critical path", "synth -> node select", "slack"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCriticalPathWarmStudyDropsSynth(t *testing.T) {
+	// Warm run: no synth span, nodes are memo hits with tiny walls.
+	tr := Trace{TraceID: "t", Spans: []SpanRecord{
+		span("node select", 0, 2),
+		span("node classifier", 2, 3),
+		span("node links", 5, 1),
+		span("node crawl", 6, 4),
+	}}
+	rep := CriticalPath(tr, diamondDeps())
+	if rep.CriticalUS != 10 {
+		t.Fatalf("CriticalUS = %d, want 10", rep.CriticalUS)
+	}
+	for _, n := range rep.Path {
+		if n == "synth" {
+			t.Fatal("warm path contains synth, which never ran")
+		}
+	}
+}
+
+func TestCriticalPathEmptyTrace(t *testing.T) {
+	rep := CriticalPath(Trace{TraceID: "t"}, diamondDeps())
+	if rep.CriticalUS != 0 || len(rep.Path) != 0 {
+		t.Fatalf("empty trace report = %+v", rep)
+	}
+	if !strings.Contains(rep.Render(), "no graph spans") {
+		t.Fatal("empty render lacks explanation")
+	}
+}
+
+func TestCriticalPathRepeatedSpansTakeMax(t *testing.T) {
+	// A node retried twice: wall is the max single span, not the sum.
+	tr := Trace{TraceID: "t", Spans: []SpanRecord{
+		{TraceID: "t", SpanID: "a", Name: "synth", StartUS: 0, DurUS: 100},
+		{TraceID: "t", SpanID: "b", Name: "synth", StartUS: 100, DurUS: 60},
+		span("node select", 160, 10),
+	}}
+	rep := CriticalPath(tr, map[string][]string{"node select": {"synth"}})
+	if rep.CriticalUS != 110 {
+		t.Fatalf("CriticalUS = %d, want 110 (max synth 100 + select 10)", rep.CriticalUS)
+	}
+}

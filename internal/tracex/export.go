@@ -1,0 +1,208 @@
+package tracex
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("JSON
+// Array Format") that Perfetto and chrome://tracing both load. Spans
+// are emitted as async begin/end pairs ("b"/"e") keyed by span id, so
+// overlapping concurrent siblings — the norm under the artefact
+// graph's per-node goroutines — render as parallel tracks instead of
+// an invalid stack.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    int64             `json:"ts"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	ID    string            `json:"id"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace renders the trace in Chrome trace-event JSON for
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (tr Trace) ChromeTrace() []byte {
+	events := make([]chromeEvent, 0, 2*len(tr.Spans))
+	for _, s := range tr.Spans {
+		cat := "span"
+		if s.Parent == "" {
+			cat = "root"
+		}
+		args := s.Attrs
+		if s.Parent != "" {
+			args = make(map[string]string, len(s.Attrs)+1)
+			for k, v := range s.Attrs {
+				args[k] = v
+			}
+			args["parent"] = s.Parent
+		}
+		events = append(events,
+			chromeEvent{Name: s.Name, Cat: cat, Phase: "b", TS: s.StartUS, PID: 1, TID: 1, ID: s.SpanID, Args: args},
+			chromeEvent{Name: s.Name, Cat: cat, Phase: "e", TS: s.StartUS + s.DurUS, PID: 1, TID: 1, ID: s.SpanID},
+		)
+	}
+	out, err := json.Marshal(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		Meta        string        `json:"otherData,omitempty"`
+	}{TraceEvents: events, Meta: "trace " + tr.TraceID})
+	if err != nil {
+		// chromeEvent marshals from plain strings and ints; failure here
+		// would be a programming error, not data-dependent.
+		panic(err)
+	}
+	return out
+}
+
+// TreeNode is one node of the aggregated span tree: siblings with the
+// same name and attrs collapse into one node with a count, and their
+// subtrees merge. The aggregate carries no ids or timings, so it is
+// identical across runs whatever the goroutine interleaving — the
+// golden-test form of a trace.
+type TreeNode struct {
+	Name     string            `json:"name"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Count    int               `json:"count"`
+	Children []*TreeNode       `json:"children,omitempty"`
+}
+
+// treeKey canonicalizes a (name, attrs) pair for sibling aggregation.
+func treeKey(name string, attrs map[string]string) string {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	for _, k := range keys {
+		b.WriteString("\x00")
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(attrs[k])
+	}
+	return b.String()
+}
+
+// Tree aggregates the trace's spans into a deterministic tree. Spans
+// whose parent is missing from the span set (e.g. the server half of a
+// propagated trace viewed alone) become roots.
+func (tr Trace) Tree() []*TreeNode {
+	present := make(map[string]bool, len(tr.Spans))
+	for _, s := range tr.Spans {
+		present[s.SpanID] = true
+	}
+	children := make(map[string][]SpanRecord)
+	var roots []SpanRecord
+	for _, s := range tr.Spans {
+		if s.Parent != "" && present[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	var build func(spans []SpanRecord) []*TreeNode
+	build = func(spans []SpanRecord) []*TreeNode {
+		byKey := make(map[string]*TreeNode)
+		kidSpans := make(map[string][]SpanRecord)
+		var order []string
+		for _, s := range spans {
+			k := treeKey(s.Name, s.Attrs)
+			n := byKey[k]
+			if n == nil {
+				n = &TreeNode{Name: s.Name, Attrs: s.Attrs}
+				byKey[k] = n
+				order = append(order, k)
+			}
+			n.Count++
+			kidSpans[k] = append(kidSpans[k], children[s.SpanID]...)
+		}
+		sort.Strings(order)
+		out := make([]*TreeNode, 0, len(order))
+		for _, k := range order {
+			n := byKey[k]
+			n.Children = build(kidSpans[k])
+			out = append(out, n)
+		}
+		return out
+	}
+	return build(roots)
+}
+
+// RenderTree renders the trace as an indented text tree with per-span
+// durations, children ordered by start time — the `ewtrace` / `ewsweep
+// -trace` human view.
+func (tr Trace) RenderTree() string {
+	children := make(map[string][]SpanRecord)
+	present := make(map[string]bool, len(tr.Spans))
+	for _, s := range tr.Spans {
+		present[s.SpanID] = true
+	}
+	var roots []SpanRecord
+	for _, s := range tr.Spans {
+		if s.Parent != "" && present[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s (%d spans", tr.TraceID, len(tr.Spans))
+	if tr.Dropped > 0 {
+		fmt.Fprintf(&b, ", %d dropped", tr.Dropped)
+	}
+	b.WriteString(")\n")
+	var walk func(spans []SpanRecord, depth int)
+	walk = func(spans []SpanRecord, depth int) {
+		for _, s := range spans {
+			b.WriteString(strings.Repeat("  ", depth))
+			fmt.Fprintf(&b, "%s %s", s.Name, fmtUS(s.DurUS))
+			for _, k := range sortedKeys(s.Attrs) {
+				fmt.Fprintf(&b, " %s=%s", k, s.Attrs[k])
+			}
+			b.WriteString("\n")
+			walk(children[s.SpanID], depth+1)
+		}
+	}
+	walk(roots, 1)
+	return b.String()
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fmtUS renders a microsecond duration human-readably.
+func fmtUS(us int64) string {
+	switch {
+	case us >= 1_000_000:
+		return fmt.Sprintf("%.2fs", float64(us)/1e6)
+	case us >= 1_000:
+		return fmt.Sprintf("%.1fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}
+
+// MarshalTree renders the aggregated tree as indented JSON — the
+// byte-stable golden-test form.
+func (tr Trace) MarshalTree() []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tr.Tree()); err != nil {
+		panic(err) // plain strings/ints: cannot fail on data
+	}
+	return buf.Bytes()
+}
