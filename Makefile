@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet fmt-check lint build test test-race bench-smoke bench-diff bench-baseline bench load-smoke load-slo load-baseline clean
+.PHONY: verify vet fmt-check lint build test test-race bench-smoke bench-diff bench-baseline bench load-smoke load-slo load-baseline chaos clean
 
 verify: vet lint build test
 
@@ -105,8 +105,25 @@ load-baseline: load-smoke
 	@echo "BENCH_load.fresh.json written; update BENCH_load.json's LoadStudyP95 ns_per_op from it,"
 	@echo "keeping only the LoadStudyP95 and LoadStudyShed entries (the shed_rate value is the budget)."
 
+# Chaos gate (DESIGN.md §13): the fault-injection suites — faultx
+# itself plus every Fault/Breaker/Retry test in the crawler, the core
+# equivalence pair and the service — under the race detector with the
+# fixed faultx seed, then the adversarial-hosts sweep ladder, whose
+# JSON lands in sweep_adversarial.json for CI upload. The sweep run
+# doubles as an end-to-end check that degraded cells still aggregate
+# (ewsweep exits non-zero if any cell errors).
+CHAOS_SEEDS ?= 2
+CHAOS_SCALE ?= 0.02
+chaos:
+	$(GO) test -race ./internal/faultx
+	$(GO) test -race -run 'Fault|Breaker|Retry|Backoff|Coverage' \
+		./internal/crawler ./internal/core ./internal/studysvc
+	$(GO) run ./cmd/ewsweep -preset adversarial-hosts \
+		-seeds $(CHAOS_SEEDS) -scale $(CHAOS_SCALE) -quiet -json \
+		> sweep_adversarial.json
+
 clean:
 	rm -f bench_pipeline.txt bench_sweep.txt bench_artefact.txt \
 		BENCH_pipeline.fresh.json BENCH_sweep.fresh.json BENCH_artefact.fresh.json \
 		BENCH_load.fresh.json ewserve_load.log ewserve_load_bin \
-		trace_load.perfetto.json
+		trace_load.perfetto.json sweep_adversarial.json

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/faultx"
 	"repro/internal/pipeline"
 	"repro/internal/report"
 	"repro/internal/studysvc"
@@ -57,10 +58,16 @@ func run() int {
 	seq := flag.Bool("seq", false, "run the sequential reference implementation")
 	only := flag.String("only", "", "comma-separated tables/figures to compute (e.g. table5,figure2); empty = the full study")
 	remote := flag.String("remote", "", "drive a live study service at this base URL instead of running in-process")
+	faults := flag.String("faults", "", `faultx fault profile for the crawl substrate (e.g. "rot=0.3;down=oron.com"; DESIGN.md §13)`)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
 	ctx := context.Background()
+
+	if _, err := faultx.ParseProfile(*faults); err != nil {
+		fmt.Fprintln(os.Stderr, "ewpipeline: bad -faults:", err)
+		return 1
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -107,6 +114,7 @@ func run() int {
 		}
 		if err := runRemote(ctx, *remote, studysvc.Request{
 			Seed: *seed, Scale: *scale, Workers: *workers, Artefacts: names,
+			Faults: *faults,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "ewpipeline:", err)
 			return 1
@@ -121,6 +129,7 @@ func run() int {
 	study := core.NewStudy(core.Options{
 		Synth:   synth.Config{Seed: *seed, Scale: *scale},
 		Workers: *workers,
+		Faults:  *faults,
 	})
 	defer study.Close()
 
@@ -179,6 +188,9 @@ func run() int {
 	st := res.CrawlStats
 	fmt.Printf("  %d preview images, %d packs (%d images), %d unique\n",
 		st.PreviewImages, st.PacksFetched, st.PackImages, st.UniqueImages)
+	if cov := st.Coverage; cov.Degraded {
+		fmt.Printf("  DEGRADED: %d tasks failed; dead hosts %v\n", cov.Errors, cov.DeadHosts)
+	}
 
 	fmt.Printf("--- PhotoDNA filter (§4.3) ---\n")
 	fmt.Printf("  %d matches reported, %d URLs actioned\n",
@@ -237,6 +249,9 @@ func runRemote(ctx context.Context, baseURL string, req studysvc.Request) error 
 	}
 	fmt.Printf("run %s: %s (server time %dms, round trip %v)\n",
 		env.ID, verdict, env.ElapsedMS, time.Since(start).Round(time.Millisecond))
+	if env.Degraded {
+		fmt.Println("run DEGRADED: the crawl lost coverage (see the report's ledger)")
+	}
 
 	if env.Summary == nil {
 		// A filtered run has no summary; the partial report is the

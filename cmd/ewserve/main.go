@@ -13,7 +13,12 @@
 //	        [-study-runs N] [-study-cache N] [-study-max-scale F]
 //	        [-study-queue N] [-study-queue-wait 2s]
 //	        [-log-level info] [-pprof 127.0.0.1:6060]
-//	        [-shutdown-timeout 10s]
+//	        [-shutdown-timeout 10s] [-faults profile]
+//
+// -faults wraps the three substrate handlers in internal/faultx's
+// deterministic fault-injection middleware (chaos testing: rate
+// limits, flaky 5xx, link rot, dead hosts), so remote crawlers face
+// the same adversary `core.Options.Faults` injects in-process.
 //
 // All operational output is JSON lines on stderr (internal/logx): one
 // line per request with its request ID and latency, one per study run,
@@ -42,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultx"
 	"repro/internal/logx"
 	"repro/internal/pipeline"
 	"repro/internal/reverse"
@@ -65,6 +71,7 @@ func main() {
 	studyQueue := flag.Int("study-queue", 0, "admission queue depth before shedding (0 = 2×study-runs, negative disables queueing)")
 	studyQueueWait := flag.Duration("study-queue-wait", 0, "longest a queued request waits for a run slot before shedding (0 = default)")
 	traceBuffer := flag.Int("trace-buffer", tracex.DefaultMaxTraces, "recent traces kept for GET /v1/trace (0 disables tracing)")
+	faults := flag.String("faults", "", `inject deterministic faults into the substrate handlers (faultx profile, e.g. "ratelimit=*;failures=2" or "rot=0.3;down=oron.com"; see internal/faultx)`)
 	logLevel := flag.String("log-level", "info", "log level: debug, info or error")
 	pprofAddr := flag.String("pprof", "", "mount net/http/pprof on this address (empty disables)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown deadline")
@@ -100,6 +107,19 @@ func main() {
 		{"hosting", *hostingAddr, w.Web},
 		{"reverse", *reverseAddr, reverse.Handler(w.Reverse)},
 		{"wayback", *waybackAddr, wayback.Handler(w.Wayback)},
+	}
+	if plan, err := faultx.ParseProfile(*faults); err != nil {
+		fmt.Fprintln(os.Stderr, "ewserve:", err)
+		os.Exit(1)
+	} else if plan != nil {
+		// Chaos mode: remote crawlers face the same deterministic
+		// adversary the in-process seam injects. One injector spans all
+		// three substrate services so scheduled faults share counters.
+		inj := faultx.NewInjector(plan)
+		services[0].h = faultx.Middleware(inj, faultx.PathHost)(services[0].h)
+		services[1].h = faultx.Middleware(inj, faultx.FixedHost("reverse"))(services[1].h)
+		services[2].h = faultx.Middleware(inj, faultx.FixedHost("wayback"))(services[2].h)
+		lg.Info("fault injection enabled", "profile", *faults, "plan", plan.String())
 	}
 	// svc outlives the loop so the shutdown watcher can report which
 	// study requests are still open when the deadline starts ticking.

@@ -10,6 +10,8 @@
 //	cross-seed-stability   N seeds at one scale — are the artefacts stable across worlds?
 //	scale-sensitivity      a scale ladder per seed — what grows with the world, what is calibrated?
 //	crawler-concurrency    crawler workers 1/2/4/8 — artefacts must not move, only timings
+//	adversarial-hosts      a fault-intensity ladder per seed (rate limits, link rot, dead
+//	                       hosts via internal/faultx) — detection recall vs adversary strength
 //
 // With -remote the cells are POSTed to a live study service
 // (cmd/ewserve's -study address), which turns the sweep into a load
@@ -57,6 +59,7 @@ import (
 	"repro/internal/artefact"
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/faultx"
 	"repro/internal/loadgen"
 	"repro/internal/report"
 	"repro/internal/studysvc"
@@ -74,6 +77,7 @@ func main() {
 	annotation := flag.Int("annotation", 0, "annotated-thread corpus size (0 = study default)")
 	workers := flag.Int("workers", 0, "pipeline stage workers per study (0 = GOMAXPROCS)")
 	crawl := flag.Int("crawl", 0, "crawler workers per study (0 = study default)")
+	faults := flag.String("faults", "", `base faultx fault profile for every cell (e.g. "rot=0.3"; the adversarial-hosts preset sweeps its own ladder instead)`)
 	parallel := flag.Int("parallel", 2, "concurrent cells")
 	memoize := flag.Bool("artefact-cache", true, "share artefact values across cells (results are identical either way; defaults off for the crawler-concurrency preset, whose per-cell timings are the measurement)")
 	cellTimeout := flag.Duration("cell-timeout", 10*time.Minute, "per-cell timeout")
@@ -109,9 +113,13 @@ func main() {
 		return
 	}
 
+	if _, err := faultx.ParseProfile(*faults); err != nil {
+		fatalf("bad -faults: %v", err)
+	}
 	spec := sweep.Spec{
 		Preset: *preset, Seeds: *seeds, Seed: *seed, Scale: *scale,
 		Annotation: *annotation, Workers: *workers, CrawlConcurrency: *crawl,
+		Faults:      *faults,
 		Parallelism: *parallel,
 	}
 	if *scales != "" || *seedList != "" {

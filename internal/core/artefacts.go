@@ -145,10 +145,17 @@ func (s *Study) worldKey() string {
 // pools, and the determinism invariant guarantees they never move a
 // result.
 func (s *Study) studyKey() string {
-	return s.worldKey() +
+	key := s.worldKey() +
 		"|ann=" + strconv.Itoa(s.Opts.AnnotationSize) +
 		"|train=" + strconv.FormatFloat(s.Opts.TrainFrac, 'g', -1, 64) +
 		"|pack=" + strconv.Itoa(s.Opts.ImagesPerPack)
+	if s.Opts.Faults != "" {
+		// Fault injection changes what the crawl can fetch, so it is
+		// part of every artefact's identity. Fault-free keys stay
+		// byte-identical to the pre-faultx era.
+		key += "|faults=" + s.Opts.Faults
+	}
+	return key
 }
 
 // Composite node values. Artefact values must be self-contained —

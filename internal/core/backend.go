@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/crawler"
+	"repro/internal/faultx"
 	"repro/internal/imagex"
 	"repro/internal/pipeline"
 	"repro/internal/reverse"
@@ -49,8 +50,17 @@ type worldBackend struct {
 
 func (b *worldBackend) newCrawler() *crawler.Crawler {
 	srv := b.study.hostingServer()
+	client := srv.Client()
+	if b.study.faultInj != nil {
+		// The in-process fault seam: the adversary lives in the
+		// transport, so the hosting substrate itself stays honest and
+		// the crawler's retry/breaker path is exercised for real.
+		cp := *client
+		cp.Transport = faultx.Transport(client.Transport, b.study.faultInj, nil)
+		client = &cp
+	}
 	return crawler.New(crawler.Config{Concurrency: b.study.Opts.CrawlConcurrency},
-		srv.Client(), b.study.World.Web.Resolver(srv.URL))
+		client, b.study.World.Web.Resolver(srv.URL))
 }
 
 func (b *worldBackend) Crawl(ctx context.Context, tasks []crawler.Task) []crawler.Result {

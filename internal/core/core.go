@@ -20,6 +20,7 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/domaincls"
 	"repro/internal/earnings"
+	"repro/internal/faultx"
 	"repro/internal/forum"
 	"repro/internal/imagex"
 	"repro/internal/ml"
@@ -52,6 +53,13 @@ type Options struct {
 	// Run (default: GOMAXPROCS). The crawl stage uses
 	// CrawlConcurrency.
 	Workers int
+	// Faults is a faultx profile injected into the in-process crawl
+	// seam (see faultx.ParseProfile), "" for none. It is part of the
+	// study's identity — artefact keys include it — because a faulted
+	// crawl may legitimately produce a different (degraded) corpus.
+	// Validate at the API boundary: an unparseable profile here is
+	// ignored.
+	Faults string
 }
 
 // DefaultOptions returns the study's standard parameters.
@@ -96,6 +104,10 @@ type Study struct {
 	// stats holds the stage metrics of the most recent concurrent Run
 	// or Compute.
 	stats *pipeline.Stats
+
+	// faultInj injects the parsed Opts.Faults plan into the in-process
+	// crawl transport; nil when fault injection is off.
+	faultInj *faultx.Injector
 }
 
 // NewStudy generates the world and prepares the study.
@@ -137,6 +149,9 @@ func NewStudyWithWorld(opts Options, world *synth.World) *Study {
 		Whitelist: urlx.DefaultWhitelist(),
 		Hotline:   photodna.NewHotline(),
 		localMemo: artefact.NewStore(0),
+	}
+	if plan, err := faultx.ParseProfile(opts.Faults); err == nil {
+		s.faultInj = faultx.NewInjector(plan)
 	}
 	s.backend = &worldBackend{study: s}
 	return s
@@ -703,6 +718,9 @@ type EarningsResult struct {
 	// Monthly series per platform feed Figure 3.
 	MonthlyAGC    *stats.MonthlySeries
 	MonthlyPayPal *stats.MonthlySeries
+	// CrawlCoverage is the §5 crawl's degradation ledger: which hosts
+	// the proof-image crawl lost, if any.
+	CrawlCoverage crawler.Coverage
 }
 
 // AnalyzeEarnings reproduces §5.1-5.2: locate earnings threads
@@ -753,6 +771,7 @@ func (s *Study) analyzeEarningsWith(ctx context.Context, ew []forum.ThreadID, wh
 	res.URLs = len(tasks)
 
 	results := s.CrawlLinks(ctx, tasks)
+	res.CrawlCoverage = crawler.CoverageOf(results)
 	safe, _ := s.filterAbuseInto(ctx, results, hotline)
 	res.Downloaded = 0
 	for _, r := range results {
@@ -908,6 +927,14 @@ type Results struct {
 	Earnings        EarningsResult
 	Table7          earnings.ExchangeTable
 	Actors          ActorAnalysis
+}
+
+// Degraded reports whether any crawl in the study lost tasks to
+// exhausted or short-circuited hosts — the signal the /v1/study
+// envelope and the report surface as graceful degradation rather
+// than failure.
+func (r *Results) Degraded() bool {
+	return r.CrawlStats.Coverage.Degraded || r.Earnings.CrawlCoverage.Degraded
 }
 
 // RunSequential executes the complete study strictly stage by stage.

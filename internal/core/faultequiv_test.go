@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/crawler"
+	"repro/internal/faultx"
+	"repro/internal/reverse"
+	"repro/internal/synth"
+	"repro/internal/wayback"
+)
+
+// faultedSubstrate serves an identically-seeded world's substrate the
+// way `ewserve -faults profile` does: all three handlers behind one
+// shared fault-injection middleware.
+func faultedSubstrate(t *testing.T, cfg synth.Config, profile string) *HTTPBackend {
+	t.Helper()
+	plan, err := faultx.ParseProfile(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultx.NewInjector(plan)
+	served := synth.Generate(cfg)
+	hostSrv := httptest.NewServer(faultx.Middleware(inj, nil)(served.Web))
+	t.Cleanup(hostSrv.Close)
+	revSrv := httptest.NewServer(faultx.Middleware(inj, faultx.FixedHost("reverse"))(reverse.Handler(served.Reverse)))
+	t.Cleanup(revSrv.Close)
+	waySrv := httptest.NewServer(faultx.Middleware(inj, faultx.FixedHost("wayback"))(wayback.Handler(served.Wayback)))
+	t.Cleanup(waySrv.Close)
+	return NewHTTPBackend(crawler.NewHTTPClient(crawler.HTTPConfig{
+		HostingURL:  hostSrv.URL,
+		ReverseURL:  revSrv.URL,
+		WaybackURL:  waySrv.URL,
+		Crawl:       crawler.Config{Concurrency: 8},
+		BackoffBase: time.Millisecond,
+	}))
+}
+
+// TestRemoteFaultRetryableEquivalence pins the tentpole invariant on
+// the remote seam: a study crawling an `ewserve -faults`-style
+// substrate under a retryable-only schedule — every service, hosting
+// and reverse and wayback alike, rate-limiting the first two requests
+// of each URL — produces Results bit-identical to the in-process,
+// fault-free run.
+func TestRemoteFaultRetryableEquivalence(t *testing.T) {
+	opts := Options{
+		Synth:          synth.Config{Seed: 7, Scale: 0.02, ImageSize: 48},
+		AnnotationSize: 400,
+		Workers:        4,
+	}
+	ctx := context.Background()
+
+	want, err := NewStudy(opts).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	backend := faultedSubstrate(t, opts.Synth, "failures=2;retry-after=1ms;ratelimit=*")
+	remote := NewStudy(opts)
+	remote.UseBackend(backend)
+	got, err := remote.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := backend.Err(); err != nil {
+		t.Fatalf("retryable-only schedule leaked %d lookup errors, first: %v", backend.ErrCount(), err)
+	}
+	diffResults(t, want, got, "remote rate-limited vs in-process fault-free")
+	if got.Degraded() {
+		t.Error("retryable-only remote schedule reported degradation")
+	}
+}
+
+// TestRemoteFaultDownHostDegrades pins the degradation contract on the
+// remote seam: a permanently dead substrate host yields a degraded —
+// not failed — study whose ledger names exactly the dead host, and the
+// degraded result is deterministic run to run.
+func TestRemoteFaultDownHostDegrades(t *testing.T) {
+	opts := Options{
+		Synth:          synth.Config{Seed: 7, Scale: 0.02, ImageSize: 48},
+		AnnotationSize: 400,
+		Workers:        4,
+	}
+	ctx := context.Background()
+
+	baseline, err := NewStudy(opts).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := baseline.CrawlStats.Coverage.Hosts[0]
+	for _, h := range baseline.CrawlStats.Coverage.Hosts {
+		if h.Tasks > victim.Tasks {
+			victim = h
+		}
+	}
+
+	run := func() *Results {
+		backend := faultedSubstrate(t, opts.Synth, "down="+victim.Host)
+		s := NewStudy(opts)
+		s.UseBackend(backend)
+		res, err := s.Run(ctx)
+		if err != nil {
+			t.Fatalf("dead remote host aborted the study: %v", err)
+		}
+		return res
+	}
+	got := run()
+	if !got.Degraded() {
+		t.Fatal("dead remote host did not mark the study degraded")
+	}
+	cov := got.CrawlStats.Coverage
+	if len(cov.DeadHosts) != 1 || cov.DeadHosts[0] != victim.Host {
+		t.Fatalf("DeadHosts = %v, want exactly [%s]", cov.DeadHosts, victim.Host)
+	}
+	if cov.Errors != victim.Tasks {
+		t.Fatalf("lost %d tasks, want %d (all of %s)", cov.Errors, victim.Tasks, victim.Host)
+	}
+	diffResults(t, got, run(), "remote degraded run repeated")
+}

@@ -14,10 +14,12 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/faultx"
 	"repro/internal/forum"
 	"repro/internal/hosting"
 	"repro/internal/imagex"
@@ -98,10 +100,32 @@ type Config struct {
 	MaxRetries int
 	// BackoffBase is the unit of the deterministic retry backoff:
 	// attempt n sleeps n*BackoffBase (default 10ms). No jitter — retry
-	// schedules must be reproducible.
+	// schedules must be reproducible. A server Retry-After hint
+	// overrides the linear schedule (see Backoff).
 	BackoffBase time.Duration
+	// MaxBackoff caps any single retry sleep, hinted or not (default
+	// 2s) — an adversarial Retry-After must not stall a worker.
+	MaxBackoff time.Duration
 	// MaxBodyBytes caps a response body (default 64 MiB).
 	MaxBodyBytes int64
+	// BreakerThreshold is the number of consecutive retry-exhausted
+	// fetches that opens a host's circuit breaker (default 4; negative
+	// disables the breaker). While open, fetches to the host fail fast
+	// with ErrHostOpen instead of burning the full retry schedule.
+	BreakerThreshold int
+	// BreakerProbeEvery is the half-open cadence: every Nth fetch that
+	// arrives at an open host is let through as a probe (default 8); a
+	// probe that reaches a definitive outcome closes the breaker. The
+	// cadence is count-based, not clock-based, so breaker behaviour is
+	// reproducible.
+	BreakerProbeEvery int
+	// RetryBudget caps the total retries spent per host across the
+	// whole crawl (default 0 = unlimited). A budget makes wall-clock
+	// under a hostile host strictly bounded, at the cost of letting
+	// the interleaving decide which fetch is denied its retry — leave
+	// it unlimited where bit-reproducibility of individual outcomes
+	// matters.
+	RetryBudget int
 }
 
 func (c Config) withDefaults() Config {
@@ -116,11 +140,79 @@ func (c Config) withDefaults() Config {
 	if c.BackoffBase <= 0 {
 		c.BackoffBase = 10 * time.Millisecond
 	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 4
+	}
+	if c.BreakerProbeEvery <= 0 {
+		c.BreakerProbeEvery = 8
+	}
 	return c
 }
+
+// Backoff is the deterministic retry schedule: with a server hint
+// (Retry-After on 429/503) attempt n sleeps min(hint<<n, maxBackoff)
+// — the same capped doubling studysvc.Client applies to the service's
+// shed responses — and without one it sleeps the legacy linear
+// (n+1)*base, also capped. attempt is 0-based.
+func Backoff(attempt int, base, maxBackoff, retryAfter time.Duration) time.Duration {
+	var d time.Duration
+	if retryAfter > 0 {
+		if attempt > 30 {
+			attempt = 30
+		}
+		d = retryAfter << attempt
+	} else {
+		d = time.Duration(attempt+1) * base
+	}
+	if maxBackoff > 0 && d > maxBackoff {
+		d = maxBackoff
+	}
+	return d
+}
+
+// StatusError is a retryable non-2xx response, carrying the server's
+// Retry-After hint when it sent one.
+type StatusError struct {
+	StatusCode int
+	RetryAfter time.Duration
+	// Msg overrides the rendered message when set.
+	Msg string
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return e.Msg
+	}
+	return fmt.Sprintf("crawler: unexpected status %d", e.StatusCode)
+}
+
+// RetryAfterHint returns the server's backoff request, if any.
+func (e *StatusError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
+// retryAfterHinter is satisfied by any error carrying a server backoff
+// hint — crawler.StatusError, reverse.StatusError, wayback.StatusError
+// — without this package naming their types.
+type retryAfterHinter interface{ RetryAfterHint() time.Duration }
+
+// RetryAfterHint extracts a server backoff hint from anywhere in err's
+// chain, or 0.
+func RetryAfterHint(err error) time.Duration {
+	var h retryAfterHinter
+	if errors.As(err, &h) {
+		return h.RetryAfterHint()
+	}
+	return 0
+}
+
+// ErrHostOpen marks a fetch short-circuited by an open per-host
+// circuit breaker.
+var ErrHostOpen = errors.New("crawler: host circuit open")
 
 // Crawler downloads links through a resolver (virtual domain → live
 // URL) with an injectable HTTP client.
@@ -131,6 +223,18 @@ type Crawler struct {
 
 	mu       sync.Mutex
 	lastHost map[string]time.Time
+	breakers map[string]*breakerState
+	retries  map[string]int
+}
+
+// breakerState is one host's circuit breaker. All transitions are
+// count-based (no clocks): `fails` consecutive retry-exhausted fetches
+// open it; while open, every BreakerProbeEvery-th arrival is admitted
+// as a half-open probe; any definitive outcome closes it.
+type breakerState struct {
+	fails   int
+	open    bool
+	skipped int
 }
 
 // New builds a crawler. client may be nil (http.DefaultClient);
@@ -147,7 +251,64 @@ func New(cfg Config, client *http.Client, resolve func(string) (string, error)) 
 		client:   client,
 		resolve:  resolve,
 		lastHost: make(map[string]time.Time),
+		breakers: make(map[string]*breakerState),
+		retries:  make(map[string]int),
 	}
+}
+
+// admitHost asks the host's circuit breaker whether a fetch may
+// proceed. Open breakers admit every BreakerProbeEvery-th arrival as a
+// half-open probe.
+func (c *Crawler) admitHost(host string) bool {
+	if c.cfg.BreakerThreshold < 0 {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.breakers[host]
+	if b == nil || !b.open {
+		return true
+	}
+	b.skipped++
+	return b.skipped%c.cfg.BreakerProbeEvery == 0
+}
+
+// recordHost feeds a fetch's fate back into the host's breaker.
+func (c *Crawler) recordHost(host string, failed bool) {
+	if c.cfg.BreakerThreshold < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.breakers[host]
+	if b == nil {
+		b = &breakerState{}
+		c.breakers[host] = b
+	}
+	if !failed {
+		b.fails, b.open, b.skipped = 0, false, 0
+		return
+	}
+	b.fails++
+	if b.fails >= c.cfg.BreakerThreshold {
+		b.open = true
+	}
+}
+
+// takeRetry spends one unit of the host's retry budget; false means
+// the budget is exhausted and the fetch must settle for its last
+// error.
+func (c *Crawler) takeRetry(host string) bool {
+	if c.cfg.RetryBudget <= 0 {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.retries[host] >= c.cfg.RetryBudget {
+		return false
+	}
+	c.retries[host]++
+	return true
 }
 
 // Crawl fetches every task with bounded concurrency. Results are
@@ -192,14 +353,22 @@ func (c *Crawler) CrawlStream(ctx context.Context, stats *pipeline.Stats, tasks 
 		func(ctx context.Context, t Task) Result { return c.fetchOne(ctx, t) })
 }
 
-// fetchOne downloads and decodes one task with retries.
+// fetchOne downloads and decodes one task with retries, gated by the
+// host's circuit breaker and retry budget.
 func (c *Crawler) fetchOne(ctx context.Context, t Task) (res Result) {
 	ctx, sp := tracex.StartSpan(ctx, "crawl fetch")
+	attempts := 0
 	defer func() {
 		sp.SetAttr("outcome", res.Outcome.String())
+		sp.SetAttr("attempts", strconv.Itoa(attempts))
 		sp.End()
 	}()
 	res = Result{Task: t}
+	if !c.admitHost(t.Link.Domain) {
+		res.Outcome = OutcomeError
+		res.Err = fmt.Errorf("%w: %s", ErrHostOpen, t.Link.Domain)
+		return res
+	}
 	target, err := c.resolve(t.Link.URL)
 	if err != nil {
 		res.Outcome = OutcomeError
@@ -213,8 +382,10 @@ func (c *Crawler) fetchOne(ctx context.Context, t Task) (res Result) {
 			res.Err = err
 			return res
 		}
+		attempts++
 		outcome, images, isPack, err := c.attempt(ctx, target)
 		if err == nil {
+			c.recordHost(t.Link.Domain, false)
 			res.Outcome = outcome
 			res.Images = images
 			res.IsPack = isPack
@@ -222,15 +393,20 @@ func (c *Crawler) fetchOne(ctx context.Context, t Task) (res Result) {
 			return res
 		}
 		lastErr = err
-		// Back off briefly before retrying transport errors.
+		if attempt == c.cfg.MaxRetries || !c.takeRetry(t.Link.Domain) {
+			break
+		}
+		// Back off before retrying: the server's Retry-After hint when
+		// it sent one, the linear schedule otherwise — both capped.
 		select {
 		case <-ctx.Done():
 			res.Outcome = OutcomeError
 			res.Err = ctx.Err()
 			return res
-		case <-time.After(time.Duration(attempt+1) * c.cfg.BackoffBase):
+		case <-time.After(Backoff(attempt, c.cfg.BackoffBase, c.cfg.MaxBackoff, RetryAfterHint(err))):
 		}
 	}
+	c.recordHost(t.Link.Domain, true)
 	res.Outcome = OutcomeError
 	res.Err = lastErr
 	return res
@@ -280,11 +456,22 @@ func (c *Crawler) attempt(ctx context.Context, target string) (Outcome, []*image
 		return OutcomeNotFound, nil, false, nil
 	case http.StatusUnauthorized, http.StatusForbidden:
 		return OutcomeLoginRequired, nil, false, nil
+	case http.StatusTooManyRequests:
+		// Rate-limited: retryable, honoring the host's backoff request.
+		return OutcomeError, nil, false, &StatusError{
+			StatusCode: resp.StatusCode,
+			RetryAfter: faultx.ParseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	case http.StatusServiceUnavailable, http.StatusBadGateway:
+		if ra := faultx.ParseRetryAfter(resp.Header.Get("Retry-After")); ra > 0 {
+			// A 503 with Retry-After is a host asking for patience, not
+			// the substrate's permanent "service defunct" page — retry.
+			return OutcomeError, nil, false, &StatusError{StatusCode: resp.StatusCode, RetryAfter: ra}
+		}
 		return OutcomeSiteDown, nil, false, nil
 	}
 	if resp.StatusCode != http.StatusOK {
-		return OutcomeError, nil, false, fmt.Errorf("crawler: unexpected status %d", resp.StatusCode)
+		return OutcomeError, nil, false, &StatusError{StatusCode: resp.StatusCode}
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
 	if err != nil {
@@ -320,6 +507,75 @@ type Stats struct {
 	PreviewImages  int
 	UniqueImages   int
 	DuplicateCount int
+	// Coverage is the per-host degradation ledger (see CoverageOf).
+	Coverage Coverage
+}
+
+// HostCoverage is one host's row in the degradation ledger.
+type HostCoverage struct {
+	Host          string `json:"host"`
+	Tasks         int    `json:"tasks"`
+	OK            int    `json:"ok"`
+	NotFound      int    `json:"not_found,omitempty"`
+	LoginRequired int    `json:"login_required,omitempty"`
+	SiteDown      int    `json:"site_down,omitempty"`
+	Errors        int    `json:"errors,omitempty"`
+}
+
+// Coverage is the crawl's per-host coverage/error ledger: the record
+// of what a partial corpus is missing and which hosts it lost. It is
+// built from outcome counts only — never from retry timing or worker
+// interleaving — so a given fault schedule yields the same ledger on
+// every run.
+type Coverage struct {
+	// Hosts is the ledger, sorted by host name.
+	Hosts []HostCoverage `json:"hosts,omitempty"`
+	// Errors is the total number of tasks lost to exhausted retries or
+	// open breakers.
+	Errors int `json:"errors"`
+	// DeadHosts names the hosts where every task errored — the hosts a
+	// degraded study lost entirely. Sorted.
+	DeadHosts []string `json:"dead_hosts,omitempty"`
+	// Degraded reports whether the corpus is partial: any task lost.
+	Degraded bool `json:"degraded"`
+}
+
+// CoverageOf builds the degradation ledger from crawl results.
+func CoverageOf(results []Result) Coverage {
+	byHost := make(map[string]*HostCoverage)
+	var cov Coverage
+	for _, r := range results {
+		host := r.Task.Link.Domain
+		hc := byHost[host]
+		if hc == nil {
+			hc = &HostCoverage{Host: host}
+			byHost[host] = hc
+		}
+		hc.Tasks++
+		switch r.Outcome {
+		case OutcomeOK:
+			hc.OK++
+		case OutcomeNotFound:
+			hc.NotFound++
+		case OutcomeLoginRequired:
+			hc.LoginRequired++
+		case OutcomeSiteDown:
+			hc.SiteDown++
+		default:
+			hc.Errors++
+			cov.Errors++
+		}
+	}
+	for _, hc := range byHost {
+		cov.Hosts = append(cov.Hosts, *hc)
+		if hc.Errors == hc.Tasks && hc.Tasks > 0 {
+			cov.DeadHosts = append(cov.DeadHosts, hc.Host)
+		}
+	}
+	sort.Slice(cov.Hosts, func(i, j int) bool { return cov.Hosts[i].Host < cov.Hosts[j].Host })
+	sort.Strings(cov.DeadHosts)
+	cov.Degraded = cov.Errors > 0
+	return cov
 }
 
 // Summarize computes crawl statistics, including deduplication by
@@ -352,6 +608,7 @@ func Summarize(results []Result) Stats {
 		}
 	}
 	s.UniqueImages = len(seen)
+	s.Coverage = CoverageOf(results)
 	return s
 }
 

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/faultx"
 	"repro/internal/hosting"
 	"repro/internal/imagex"
 	"repro/internal/pipeline"
@@ -40,8 +42,12 @@ type HTTPConfig struct {
 	// Crawl.MaxRetries).
 	MaxRetries int
 	// BackoffBase is the deterministic backoff unit for those lookups:
-	// attempt n sleeps n*BackoffBase (default 25ms).
+	// attempt n sleeps n*BackoffBase (default 25ms), unless the failed
+	// attempt carried a Retry-After hint — then the hint doubles per
+	// attempt instead (see Backoff).
 	BackoffBase time.Duration
+	// MaxBackoff caps any single lookup retry sleep (default 2s).
+	MaxBackoff time.Duration
 	// MaxIdleConnsPerHost sizes the connection pool (default: the crawl
 	// concurrency — the substrate is typically one real host).
 	MaxIdleConnsPerHost int
@@ -64,6 +70,9 @@ func (c HTTPConfig) withDefaults() HTTPConfig {
 	}
 	if c.BackoffBase <= 0 {
 		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
 	}
 	if c.MaxIdleConnsPerHost <= 0 {
 		c.MaxIdleConnsPerHost = c.Crawl.Concurrency
@@ -137,16 +146,21 @@ func (h *HTTPClient) CrawlStream(ctx context.Context, stats *pipeline.Stats, tas
 	return h.crawler.CrawlStream(ctx, stats, tasks)
 }
 
-// retry runs fn up to 1+MaxRetries times with linear deterministic
-// backoff between attempts. The whole retried lookup is one leaf span
-// named name, so a trace attributes a slow remote cell to the specific
-// substrate call that stalled — retries included.
+// retry runs fn up to 1+MaxRetries times with deterministic backoff
+// between attempts — linear by default, or the server's own
+// Retry-After hint (doubling, capped) when the failed attempt carried
+// one. The whole retried lookup is one leaf span named name, so a
+// trace attributes a slow remote cell to the specific substrate call
+// that stalled — retries included; the span's "attempts" attr counts
+// them.
 func (h *HTTPClient) retry(ctx context.Context, name string, fn func(context.Context) error) (err error) {
 	ctx, sp := tracex.StartSpan(ctx, name)
+	attempts := 0
 	defer func() {
 		if err != nil {
 			sp.SetAttr("error", err.Error())
 		}
+		sp.SetAttr("attempts", strconv.Itoa(attempts))
 		sp.End()
 	}()
 	var lastErr error
@@ -155,9 +169,10 @@ func (h *HTTPClient) retry(ctx context.Context, name string, fn func(context.Con
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(time.Duration(attempt) * h.cfg.BackoffBase):
+			case <-time.After(Backoff(attempt-1, h.cfg.BackoffBase, h.cfg.MaxBackoff, RetryAfterHint(lastErr))):
 			}
 		}
+		attempts++
 		if lastErr = fn(ctx); lastErr == nil {
 			return nil
 		}
@@ -237,7 +252,11 @@ func (h *HTTPClient) VisitKind(ctx context.Context, domain string) (urlx.Kind, b
 			kind, ok = urlx.KindUnknown, false
 			return nil
 		default:
-			return fmt.Errorf("crawler: landing page for %q returned status %d", domain, resp.StatusCode)
+			return &StatusError{
+				StatusCode: resp.StatusCode,
+				RetryAfter: faultx.ParseRetryAfter(resp.Header.Get("Retry-After")),
+				Msg:        fmt.Sprintf("crawler: landing page for %q returned status %d", domain, resp.StatusCode),
+			}
 		}
 		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		if err != nil {

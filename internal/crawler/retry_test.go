@@ -1,0 +1,303 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultx"
+	"repro/internal/hosting"
+	"repro/internal/imagex"
+	"repro/internal/tracex"
+	"repro/internal/urlx"
+)
+
+// flakyServer serves a valid image payload after failing the first
+// failures requests per URL with status (and optional Retry-After).
+func flakyServer(t *testing.T, failures, status int, retryAfter time.Duration) (*httptest.Server, func() int) {
+	t.Helper()
+	payload := imagex.GenModel(1, 0, imagex.PoseNude, 24).Encode()
+	var (
+		mu    sync.Mutex
+		seen  = map[string]int{}
+		total int
+	)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		total++
+		n := seen[r.URL.Path]
+		seen[r.URL.Path] = n + 1
+		mu.Unlock()
+		if n < failures {
+			if retryAfter > 0 {
+				w.Header().Set("Retry-After", faultx.FormatRetryAfter(retryAfter))
+			}
+			w.WriteHeader(status)
+			return
+		}
+		w.Header().Set("Content-Type", hosting.ContentTypeSIMG)
+		w.Write(payload)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return total
+	}
+}
+
+func retryCrawler(srv *httptest.Server, cfg Config) *Crawler {
+	resolve := func(u string) (string, error) {
+		return srv.URL + "/" + urlx.Domain(u) + "/x", nil
+	}
+	return New(cfg, srv.Client(), resolve)
+}
+
+func TestRetryThenSucceed(t *testing.T) {
+	// Two scripted 429s per URL, then success: inside the default
+	// MaxRetries=2 budget, so the fetch lands OK on the third attempt.
+	srv, requests := flakyServer(t, 2, http.StatusTooManyRequests, time.Millisecond)
+	c := retryCrawler(srv, Config{Concurrency: 1, BackoffBase: time.Millisecond})
+
+	tracer := tracex.New(tracex.Config{IDs: tracex.NewSeqIDs(1)})
+	ctx := tracex.NewContext(context.Background(), tracer)
+	ctx, root := tracex.StartSpan(ctx, "test")
+
+	res := c.Crawl(ctx, []Task{task("https://imgur.com/x", urlx.KindImageSharing)})
+	root.End()
+	if res[0].Outcome != OutcomeOK {
+		t.Fatalf("outcome %v err %v", res[0].Outcome, res[0].Err)
+	}
+	if got := requests(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 failures + success)", got)
+	}
+	// The fetch span records how hard it had to work.
+	tr, ok := tracer.Trace(root.Context().Trace.String())
+	if !ok {
+		t.Fatal("trace not recorded")
+	}
+	found := false
+	for _, sp := range tr.Spans {
+		if sp.Name != "crawl fetch" {
+			continue
+		}
+		found = true
+		if sp.Attrs["attempts"] != "3" || sp.Attrs["outcome"] != "ok" {
+			t.Fatalf("fetch span attrs = %v, want attempts=3 outcome=ok", sp.Attrs)
+		}
+	}
+	if !found {
+		t.Fatal("no crawl fetch span recorded")
+	}
+}
+
+func TestRetryExhausted(t *testing.T) {
+	srv, requests := flakyServer(t, 10, http.StatusTooManyRequests, time.Millisecond)
+	c := retryCrawler(srv, Config{Concurrency: 1, BackoffBase: time.Millisecond, MaxRetries: 2})
+	res := c.Crawl(context.Background(), []Task{task("https://imgur.com/x", urlx.KindImageSharing)})
+	if res[0].Outcome != OutcomeError {
+		t.Fatalf("outcome %v, want error", res[0].Outcome)
+	}
+	var se *StatusError
+	if !errors.As(res[0].Err, &se) || se.StatusCode != 429 {
+		t.Fatalf("err = %v, want StatusError 429", res[0].Err)
+	}
+	if got := requests(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (initial + 2 retries)", got)
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	base, max := 10*time.Millisecond, 2*time.Second
+	// No hint: legacy linear (attempt+1)*base.
+	for attempt, want := range []time.Duration{10, 20, 30} {
+		if got := Backoff(attempt, base, max, 0); got != want*time.Millisecond {
+			t.Errorf("Backoff(%d) = %v, want %v", attempt, got, want*time.Millisecond)
+		}
+	}
+	// Hinted: capped doubling of the server's Retry-After.
+	hint := 100 * time.Millisecond
+	for attempt, want := range []time.Duration{100, 200, 400} {
+		if got := Backoff(attempt, base, max, hint); got != want*time.Millisecond {
+			t.Errorf("hinted Backoff(%d) = %v, want %v", attempt, got, want*time.Millisecond)
+		}
+	}
+	// The cap bounds both schedules, however hostile the hint.
+	if got := Backoff(10, base, max, time.Hour); got != max {
+		t.Errorf("capped hinted backoff = %v, want %v", got, max)
+	}
+	if got := Backoff(1000, base, max, 0); got != max {
+		t.Errorf("capped linear backoff = %v, want %v", got, max)
+	}
+	// Absurd attempt counts must not overflow the shift.
+	if got := Backoff(100, base, max, time.Nanosecond); got < 0 || got > max {
+		t.Errorf("overflow guard failed: %v", got)
+	}
+}
+
+func TestRetryHonorsCancellation(t *testing.T) {
+	// The server always 429s with a long Retry-After; cancelling during
+	// the backoff sleep must surface promptly as a context error.
+	srv, _ := flakyServer(t, 1000, http.StatusTooManyRequests, 10*time.Second)
+	c := retryCrawler(srv, Config{Concurrency: 1, MaxBackoff: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan []Result, 1)
+	go func() {
+		done <- c.Crawl(ctx, []Task{task("https://imgur.com/x", urlx.KindImageSharing)})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case res := <-done:
+		if res[0].Outcome != OutcomeError || !errors.Is(res[0].Err, context.Canceled) {
+			t.Fatalf("result = %v err %v, want context.Canceled", res[0].Outcome, res[0].Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("crawl did not unwind from backoff sleep on cancellation")
+	}
+}
+
+func TestBreakerOpensAndProbes(t *testing.T) {
+	// An always-failing host: after BreakerThreshold retry-exhausted
+	// fetches the breaker opens and fetches fail fast with ErrHostOpen;
+	// every BreakerProbeEvery-th arrival goes through as a probe.
+	srv, requests := flakyServer(t, 1<<30, http.StatusTooManyRequests, time.Millisecond)
+	c := retryCrawler(srv, Config{
+		Concurrency: 1, BackoffBase: time.Millisecond,
+		MaxRetries:       -1, // single attempt per fetch
+		BreakerThreshold: 2, BreakerProbeEvery: 3,
+	})
+	tasks := make([]Task, 8)
+	for i := range tasks {
+		tasks[i] = task("https://imgur.com/x", urlx.KindImageSharing)
+	}
+	res := c.Crawl(context.Background(), tasks)
+	// Fetches 1-2 burn real requests and open the breaker; 3,4 are
+	// short-circuited; 5 is the probe (3rd arrival at the open breaker),
+	// fails, stays open; 6,7 short-circuited; 8 probes again.
+	wantOpen := map[int]bool{2: true, 3: true, 5: true, 6: true}
+	for i, r := range res {
+		if r.Outcome != OutcomeError {
+			t.Fatalf("task %d outcome %v", i, r.Outcome)
+		}
+		if got := errors.Is(r.Err, ErrHostOpen); got != wantOpen[i] {
+			t.Fatalf("task %d err = %v, want short-circuit=%v", i, r.Err, wantOpen[i])
+		}
+	}
+	if got := requests(); got != 4 {
+		t.Fatalf("server saw %d requests, want 4 (2 opening + 2 probes)", got)
+	}
+}
+
+func TestBreakerClosesOnRecovery(t *testing.T) {
+	// Host fails long enough to open the breaker, then recovers: the
+	// next admitted probe succeeds and closes the circuit, so later
+	// fetches flow normally again.
+	srv, requests := flakyServer(t, 2, http.StatusInternalServerError, 0)
+	c := retryCrawler(srv, Config{
+		Concurrency: 1, BackoffBase: time.Millisecond,
+		MaxRetries:       -1,
+		BreakerThreshold: 2, BreakerProbeEvery: 2,
+	})
+	tasks := make([]Task, 6)
+	for i := range tasks {
+		tasks[i] = task("https://imgur.com/x", urlx.KindImageSharing)
+	}
+	res := c.Crawl(context.Background(), tasks)
+	// 1-2 fail (500×2 scripted) and open the breaker; 3 short-circuits;
+	// 4 probes, the host has healed → OK and the breaker closes; 5-6 OK.
+	wants := []struct {
+		outcome Outcome
+		open    bool
+	}{
+		{OutcomeError, false}, {OutcomeError, false},
+		{OutcomeError, true},
+		{OutcomeOK, false}, {OutcomeOK, false}, {OutcomeOK, false},
+	}
+	for i, w := range wants {
+		if res[i].Outcome != w.outcome || errors.Is(res[i].Err, ErrHostOpen) != w.open {
+			t.Fatalf("task %d = (%v, %v), want (%v, open=%v)",
+				i, res[i].Outcome, res[i].Err, w.outcome, w.open)
+		}
+	}
+	if got := requests(); got != 5 {
+		t.Fatalf("server saw %d requests, want 5", got)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	srv, requests := flakyServer(t, 1<<30, http.StatusInternalServerError, 0)
+	c := retryCrawler(srv, Config{
+		Concurrency: 1, BackoffBase: time.Microsecond,
+		MaxRetries: -1, BreakerThreshold: -1,
+	})
+	tasks := make([]Task, 10)
+	for i := range tasks {
+		tasks[i] = task("https://imgur.com/x", urlx.KindImageSharing)
+	}
+	res := c.Crawl(context.Background(), tasks)
+	for i, r := range res {
+		if errors.Is(r.Err, ErrHostOpen) {
+			t.Fatalf("task %d short-circuited with the breaker disabled", i)
+		}
+	}
+	if got := requests(); got != 10 {
+		t.Fatalf("server saw %d requests, want all 10", got)
+	}
+}
+
+func TestRetryBudget(t *testing.T) {
+	srv, requests := flakyServer(t, 1<<30, http.StatusTooManyRequests, time.Millisecond)
+	c := retryCrawler(srv, Config{
+		Concurrency: 1, BackoffBase: time.Millisecond,
+		MaxRetries: 2, RetryBudget: 1, BreakerThreshold: -1,
+	})
+	res := c.Crawl(context.Background(), []Task{
+		task("https://imgur.com/x", urlx.KindImageSharing),
+		task("https://imgur.com/x", urlx.KindImageSharing),
+	})
+	for i, r := range res {
+		if r.Outcome != OutcomeError {
+			t.Fatalf("task %d outcome %v", i, r.Outcome)
+		}
+	}
+	// Task 1 spends the host's whole budget (initial + 1 retry), task 2
+	// gets its initial attempt only: 3 requests, not 6.
+	if got := requests(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+}
+
+func TestCoverageOf(t *testing.T) {
+	mk := func(host string, o Outcome) Result {
+		return Result{Task: Task{Link: urlx.Link{Domain: host}}, Outcome: o}
+	}
+	cov := CoverageOf([]Result{
+		mk("b.com", OutcomeOK),
+		mk("b.com", OutcomeError),
+		mk("a.com", OutcomeError),
+		mk("a.com", OutcomeError),
+		mk("c.com", OutcomeNotFound),
+	})
+	if !cov.Degraded || cov.Errors != 3 {
+		t.Fatalf("coverage = %+v", cov)
+	}
+	if len(cov.DeadHosts) != 1 || cov.DeadHosts[0] != "a.com" {
+		t.Fatalf("dead hosts = %v, want [a.com] (b.com had a success, c.com only rot)", cov.DeadHosts)
+	}
+	if len(cov.Hosts) != 3 || cov.Hosts[0].Host != "a.com" || cov.Hosts[1].Host != "b.com" {
+		t.Fatalf("ledger unsorted: %+v", cov.Hosts)
+	}
+	if h := cov.Hosts[1]; h.Tasks != 2 || h.OK != 1 || h.Errors != 1 {
+		t.Fatalf("b.com row = %+v", h)
+	}
+
+	healthy := CoverageOf([]Result{mk("a.com", OutcomeOK), mk("b.com", OutcomeNotFound)})
+	if healthy.Degraded || healthy.Errors != 0 || healthy.DeadHosts != nil {
+		t.Fatalf("healthy coverage = %+v", healthy)
+	}
+}

@@ -52,8 +52,9 @@ func (r *Result) BenchArtifact() ([]byte, error) {
 			entry("LoadStudyP95", r.P95MS, nil),
 			entry("LoadStudyP99", r.P99MS, nil),
 			entry("LoadStudyShed", 0, map[string]float64{
-				"shed_rate": r.ShedRate,
-				"rps":       r.AchievedRPS,
+				"shed_rate":  r.ShedRate,
+				"error_rate": r.ErrorRate,
+				"rps":        r.AchievedRPS,
 			}),
 		},
 	}

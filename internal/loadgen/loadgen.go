@@ -97,6 +97,11 @@ type Result struct {
 	// ShedRate is Shed / (OK + Shed): the fraction of well-formed
 	// submissions the service rejected under admission control.
 	ShedRate float64 `json:"shed_rate"`
+	// ErrorRate is Errors / Requests: the fraction of requests that
+	// failed for reasons other than admission control (5xx, transport
+	// errors, timeouts). Shedding is the service degrading as designed;
+	// errors are it breaking — the SLO gate distinguishes them.
+	ErrorRate float64 `json:"error_rate"`
 	// Latency percentiles over successful requests, milliseconds.
 	// Shed responses are fast rejections by design and are excluded —
 	// they are measured by ShedRate instead.
@@ -248,6 +253,9 @@ drive:
 	if n := res.OK + res.Shed; n > 0 {
 		res.ShedRate = float64(res.Shed) / float64(n)
 	}
+	if res.Requests > 0 {
+		res.ErrorRate = float64(res.Errors) / float64(res.Requests)
+	}
 	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
 	if len(latencies) > 0 {
 		res.P50MS = msAt(latencies, 0.50)
@@ -307,8 +315,8 @@ func msAt(sorted []time.Duration, q float64) float64 {
 func (r *Result) String() string {
 	return fmt.Sprintf(
 		"requests %d (ok %d, shed %d, errors %d, cache hits %d) in %dms\n"+
-			"achieved %.1f rps, shed rate %.3f\n"+
+			"achieved %.1f rps, shed rate %.3f, error rate %.3f\n"+
 			"latency p50 %.1fms p95 %.1fms p99 %.1fms max %.1fms",
 		r.Requests, r.OK, r.Shed, r.Errors, r.CacheHits, r.DurationMS,
-		r.AchievedRPS, r.ShedRate, r.P50MS, r.P95MS, r.P99MS, r.MaxMS)
+		r.AchievedRPS, r.ShedRate, r.ErrorRate, r.P50MS, r.P95MS, r.P99MS, r.MaxMS)
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/actors"
 	"repro/internal/core"
+	"repro/internal/crawler"
 	"repro/internal/earnings"
 	"repro/internal/stats"
 	"repro/internal/urlx"
@@ -100,10 +101,13 @@ func LinkTable(title string, counts []urlx.DomainCount) string {
 	return title + "\n" + table([]string{"Site", "#Links"}, rows)
 }
 
-// Crawl renders the §4.2 crawl summary.
+// Crawl renders the §4.2 crawl summary, appending the per-host
+// degradation ledger when the crawl lost tasks to dead or exhausted
+// hosts. Healthy crawls render byte-identically to the pre-faultx era
+// (the golden reports pin that).
 func Crawl(res *core.Results) string {
 	st := res.CrawlStats
-	return fmt.Sprintf(`Crawl (§4.2): tasks=%d [%s]
+	out := fmt.Sprintf(`Crawl (§4.2): tasks=%d [%s]
 preview images=%d  packs=%d  pack images=%d  unique=%d  duplicates=%d
 TOPs with links=%d/%d (%.1f%%)  snowball added %d domains
 `, st.Tasks, strings.Join(st.OutcomeCounts(), " "),
@@ -111,6 +115,30 @@ TOPs with links=%d/%d (%.1f%%)  snowball added %d domains
 		res.Links.ThreadsWithLinks, len(res.Classifier.Extract.TOPs),
 		100*float64(res.Links.ThreadsWithLinks)/float64(max(1, len(res.Classifier.Extract.TOPs))),
 		res.Links.SnowballAdded)
+	out += degradation("crawl", st.Coverage)
+	out += degradation("earnings crawl", res.Earnings.CrawlCoverage)
+	return out
+}
+
+// degradation renders one crawl's coverage ledger — only when it is
+// actually degraded, so healthy reports are untouched.
+func degradation(which string, cov crawler.Coverage) string {
+	if !cov.Degraded {
+		return ""
+	}
+	out := fmt.Sprintf("DEGRADED %s: %d tasks lost to exhausted hosts", which, cov.Errors)
+	if len(cov.DeadHosts) > 0 {
+		out += fmt.Sprintf("; dead hosts: %s", strings.Join(cov.DeadHosts, ", "))
+	}
+	out += "\n"
+	for _, h := range cov.Hosts {
+		if h.Errors == 0 {
+			continue
+		}
+		out += fmt.Sprintf("  %s: %d/%d errored (ok=%d not_found=%d)\n",
+			h.Host, h.Errors, h.Tasks, h.OK, h.NotFound)
+	}
+	return out
 }
 
 // PhotoDNA renders the §4.3 hashlist-filter summary.

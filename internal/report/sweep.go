@@ -32,8 +32,12 @@ func SweepGroup(g sweep.Group) string {
 			a.Name, fmt.Sprint(a.N), fnum(a.Mean), fnum(a.Std), ci, fnum(a.Min), fnum(a.Max),
 		})
 	}
-	title := fmt.Sprintf("Cross-seed aggregate (scale=%g annotation=%d workers=%d crawl=%d; %d seeds)",
-		g.Scale, g.Annotation, g.Workers, g.CrawlConcurrency, len(g.Seeds))
+	faults := ""
+	if g.Faults != "" {
+		faults = fmt.Sprintf(" faults=%q", g.Faults)
+	}
+	title := fmt.Sprintf("Cross-seed aggregate (scale=%g annotation=%d workers=%d crawl=%d%s; %d seeds)",
+		g.Scale, g.Annotation, g.Workers, g.CrawlConcurrency, faults, len(g.Seeds))
 	return title + "\n" +
 		table([]string{"Artefact", "N", "Mean", "Std", "95% CI", "Min", "Max"}, rows)
 }
@@ -71,6 +75,15 @@ func Sweep(r *sweep.Result) string {
 		r.Name, len(r.Cells), r.OK(), len(r.Errors),
 		(time.Duration(r.ElapsedMS) * time.Millisecond).Round(time.Millisecond))
 
+	// The Faults column appears only when some cell injects faults, so
+	// fault-free sweep reports keep their original shape.
+	faulted := false
+	for _, o := range r.Cells {
+		if o.Cell.Faults != "" {
+			faulted = true
+			break
+		}
+	}
 	rows := make([][]string, 0, len(r.Cells))
 	for _, o := range r.Cells {
 		status := "ok"
@@ -80,15 +93,27 @@ func Sweep(r *sweep.Result) string {
 		case o.Cached:
 			status = "cached"
 		}
-		rows = append(rows, []string{
+		row := []string{
 			fmt.Sprint(o.Index), fmt.Sprint(o.Cell.Seed), fmt.Sprintf("%g", o.Cell.Scale),
 			fmt.Sprint(o.Cell.Annotation), fmt.Sprint(o.Cell.Workers),
 			fmt.Sprint(o.Cell.CrawlConcurrency),
-			fmt.Sprintf("%dms", o.ElapsedMS), status,
-		})
+		}
+		if faulted {
+			f := o.Cell.Faults
+			if f == "" {
+				f = "—"
+			}
+			row = append(row, f)
+		}
+		rows = append(rows, append(row, fmt.Sprintf("%dms", o.ElapsedMS), status))
 	}
+	header := []string{"#", "Seed", "Scale", "Annot", "Workers", "Crawl"}
+	if faulted {
+		header = append(header, "Faults")
+	}
+	header = append(header, "Time", "Status")
 	sb.WriteString("\n")
-	sb.WriteString(table([]string{"#", "Seed", "Scale", "Annot", "Workers", "Crawl", "Time", "Status"}, rows))
+	sb.WriteString(table(header, rows))
 
 	if len(r.Errors) > 0 {
 		sb.WriteString("\nError ledger:\n")

@@ -8,7 +8,9 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
+	"repro/internal/faultx"
 	"repro/internal/imagex"
 )
 
@@ -106,6 +108,22 @@ func (c *Client) SearchHash(ctx context.Context, h imagex.Hash128) ([]Match, err
 	return c.do(req)
 }
 
+// StatusError is a non-200 search response. RetryAfterHint exposes
+// the parsed Retry-After header so retrying callers (crawler.
+// HTTPClient) can honor the server's backoff request without this
+// package knowing who retries.
+type StatusError struct {
+	StatusCode int
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("reverse: search returned status %d", e.StatusCode)
+}
+
+// RetryAfterHint returns the server's backoff request, if any.
+func (e *StatusError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
 func (c *Client) do(req *http.Request) ([]Match, error) {
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
@@ -113,7 +131,10 @@ func (c *Client) do(req *http.Request) ([]Match, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("reverse: search returned status %d", resp.StatusCode)
+		return nil, &StatusError{
+			StatusCode: resp.StatusCode,
+			RetryAfter: faultx.ParseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	var sr searchResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {

@@ -355,6 +355,7 @@ func (b Backend) RunCell(ctx context.Context, cell sweep.Cell) (sweep.CellResult
 	env, err := b.Client.run(ctx, Request{
 		Seed: cell.Seed, Scale: cell.Scale, AnnotationSize: cell.Annotation,
 		Workers: cell.Workers, CrawlConcurrency: cell.CrawlConcurrency,
+		Faults: cell.Faults,
 	}, "report=false")
 	if err != nil {
 		return sweep.CellResult{}, err

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/artefact"
 	"repro/internal/core"
+	"repro/internal/faultx"
 	"repro/internal/logx"
 	"repro/internal/pipeline"
 	"repro/internal/report"
@@ -173,6 +174,10 @@ type Request struct {
 	// executes, and the response carries a partial report and no
 	// summary. Empty means the full study.
 	Artefacts []string `json:"artefacts,omitempty"`
+	// Faults is a faultx fault-injection profile applied to the
+	// study's crawl seam (see faultx.ParseProfile). "" or "off" means
+	// none. An unparseable profile is a 400.
+	Faults string `json:"faults,omitempty"`
 }
 
 // Canonical is a fully-defaulted request: the cache key domain. Two
@@ -185,6 +190,7 @@ type Canonical struct {
 	Workers          int      `json:"workers"`
 	CrawlConcurrency int      `json:"crawl_concurrency"`
 	Artefacts        []string `json:"artefacts,omitempty"`
+	Faults           string   `json:"faults,omitempty"`
 }
 
 // canonicalize applies the same defaulting core.NewStudy and
@@ -213,6 +219,13 @@ func canonicalize(r Request) (Canonical, error) {
 	if c.CrawlConcurrency <= 0 {
 		c.CrawlConcurrency = def.CrawlConcurrency
 	}
+	c.Faults = strings.TrimSpace(r.Faults)
+	if plan, err := faultx.ParseProfile(c.Faults); err != nil {
+		return Canonical{}, err
+	} else if plan == nil {
+		// "" and "off" canonicalize to no injection, sharing one key.
+		c.Faults = ""
+	}
 	if len(r.Artefacts) > 0 {
 		seen := make(map[string]bool, len(r.Artefacts))
 		for _, raw := range r.Artefacts {
@@ -233,24 +246,35 @@ func canonicalize(r Request) (Canonical, error) {
 
 // fromCell canonicalizes a sweep cell — cells are already normalized
 // with the same defaults, so this is the identity on the values, just
-// a type change. Cells never carry an artefact filter, so this cannot
-// fail.
+// a type change. Cells never carry an artefact filter; a cell with an
+// unparseable fault profile keeps it verbatim so validate() rejects
+// it with the parse error.
 func fromCell(c sweep.Cell) Canonical {
-	canon, _ := canonicalize(Request{
+	canon, err := canonicalize(Request{
 		Seed: c.Seed, Scale: c.Scale, AnnotationSize: c.Annotation,
 		Workers: c.Workers, CrawlConcurrency: c.CrawlConcurrency,
+		Faults: c.Faults,
 	})
+	if err != nil {
+		canon.Faults = c.Faults
+	}
 	return canon
 }
 
-// key renders the canonical options as the cache key.
+// key renders the canonical options as the cache key. The faults
+// segment appears only when set, so fault-free keys stay byte-
+// identical to the pre-faultx era.
 func (c Canonical) key() string {
-	return "seed=" + strconv.FormatUint(c.Seed, 10) +
+	key := "seed=" + strconv.FormatUint(c.Seed, 10) +
 		"|scale=" + strconv.FormatFloat(c.Scale, 'g', -1, 64) +
 		"|annotation=" + strconv.Itoa(c.AnnotationSize) +
 		"|workers=" + strconv.Itoa(c.Workers) +
 		"|crawl=" + strconv.Itoa(c.CrawlConcurrency) +
 		"|arts=" + strings.Join(c.Artefacts, ",")
+	if c.Faults != "" {
+		key += "|faults=" + c.Faults
+	}
+	return key
 }
 
 // coreOptions expands the canonical options for core.NewStudy.
@@ -260,6 +284,7 @@ func (c Canonical) coreOptions() core.Options {
 		AnnotationSize:   c.AnnotationSize,
 		Workers:          c.Workers,
 		CrawlConcurrency: c.CrawlConcurrency,
+		Faults:           c.Faults,
 	}
 }
 
@@ -290,6 +315,12 @@ type Envelope struct {
 	Summary   *Summary                 `json:"summary,omitempty"`
 	Stages    []pipeline.StageSnapshot `json:"stages,omitempty"`
 	Report    string                   `json:"report,omitempty"`
+	// Degraded marks a successful run whose crawl lost tasks to dead
+	// or exhausted hosts: the results are a partial corpus with a
+	// per-host ledger in the report, not a failure. Graceful
+	// degradation is the contract — a hostile substrate must never
+	// turn a study into a 500.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // run is one study execution and its lifecycle.
@@ -310,12 +341,13 @@ type run struct {
 	done       chan struct{} // closed when the run finishes
 
 	// Written once before done closes, read-only after.
-	status  string
-	errMsg  string
-	elapsed time.Duration
-	summary *Summary
-	stages  []pipeline.StageSnapshot
-	report  string
+	status   string
+	errMsg   string
+	elapsed  time.Duration
+	summary  *Summary
+	stages   []pipeline.StageSnapshot
+	report   string
+	degraded bool
 	// sections holds every rendered report section by name — the
 	// GET /v1/study/{id}/artefact/{name} source. A full run renders
 	// all of them; a filtered run only the requested ones.
@@ -342,6 +374,7 @@ func (r *run) envelope(cached bool, full bool) Envelope {
 		env.ElapsedMS = r.elapsed.Milliseconds()
 		env.Summary = r.summary
 		env.Stages = r.stages
+		env.Degraded = r.degraded
 		if full {
 			env.Report = r.report
 		}
@@ -613,6 +646,9 @@ func (s *Service) execute(r *run) {
 			sum := sweep.Summarize(res)
 			r.summary = &sum
 		}
+		if res != nil {
+			r.degraded = res.Degraded()
+		}
 		r.stages = study.PipelineStats()
 		r.elapsed = elapsed
 		r.status = StatusDone
@@ -713,6 +749,11 @@ func (s *Service) validate(c Canonical) string {
 	}
 	if c.CrawlConcurrency > s.cfg.MaxWorkers {
 		return fmt.Sprintf("crawl concurrency %d exceeds the service limit %d", c.CrawlConcurrency, s.cfg.MaxWorkers)
+	}
+	if _, err := faultx.ParseProfile(c.Faults); err != nil {
+		// Backstop for sweep cells, whose profiles bypass canonicalize
+		// errors (see fromCell).
+		return err.Error()
 	}
 	return ""
 }

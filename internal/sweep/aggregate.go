@@ -26,6 +26,9 @@ type Group struct {
 	Annotation       int     `json:"annotation_size"`
 	Workers          int     `json:"workers"`
 	CrawlConcurrency int     `json:"crawl_concurrency"`
+	// Faults is the group's fault profile; empty for fault-free groups,
+	// so fault-free JSON keeps its pre-faults shape.
+	Faults string `json:"faults,omitempty"`
 	// Seeds lists the seeds aggregated, in plan order.
 	Seeds     []uint64      `json:"seeds"`
 	Artefacts []ArtefactAgg `json:"artefacts"`
@@ -82,7 +85,7 @@ func aggregate(outcomes []Outcome) *Aggregate {
 		if o.Summary == nil {
 			continue
 		}
-		k := groupKey{o.Cell.Scale, o.Cell.Annotation, o.Cell.Workers, o.Cell.CrawlConcurrency}
+		k := groupKey{o.Cell.Scale, o.Cell.Annotation, o.Cell.Workers, o.Cell.CrawlConcurrency, o.Cell.Faults}
 		if _, seen := byGroup[k]; !seen {
 			keys = append(keys, k)
 		}
@@ -98,6 +101,7 @@ func aggregate(outcomes []Outcome) *Aggregate {
 		group := Group{
 			Scale: k.Scale, Annotation: k.Annotation,
 			Workers: k.Workers, CrawlConcurrency: k.CrawlConcurrency,
+			Faults: k.Faults,
 		}
 		members := byGroup[k]
 		// Column-major fold: artefact i over every member summary.
@@ -158,10 +162,11 @@ func stability(g Group) []StabilityRow {
 func slopes(groups []Group) []Slope {
 	type rest struct {
 		Annotation, Workers, CrawlConcurrency int
+		Faults                                string
 	}
 	combos := make(map[rest][]Group)
 	for _, g := range groups {
-		k := rest{g.Annotation, g.Workers, g.CrawlConcurrency}
+		k := rest{g.Annotation, g.Workers, g.CrawlConcurrency, g.Faults}
 		combos[k] = append(combos[k], g)
 	}
 	if len(combos) != 1 {

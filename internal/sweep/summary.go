@@ -41,6 +41,10 @@ type Summary struct {
 	PreviewSeenRate  float64 `json:"preview_seen_rate"`
 	MeanProofUSD     float64 `json:"mean_proof_usd"`
 	MeanActorUSD     float64 `json:"mean_actor_usd"`
+	// CrawlErrorRate is the percentage of crawl tasks lost to
+	// exhausted or short-circuited hosts — 0 for a healthy substrate,
+	// the degradation measure under the adversarial-hosts preset.
+	CrawlErrorRate float64 `json:"crawl_error_rate"`
 }
 
 // pct returns 100*num/den, 0 for an empty denominator (a degenerate
@@ -84,6 +88,7 @@ func Summarize(res *core.Results) Summary {
 	s.PreviewSeenRate = pct(res.Provenance.Previews.SeenBefore, res.Provenance.Previews.Matched)
 	s.MeanProofUSD = res.Earnings.Summary.MeanTransactionUSD
 	s.MeanActorUSD = res.Earnings.Summary.MeanPerActorUSD
+	s.CrawlErrorRate = pct(res.CrawlStats.Coverage.Errors, res.CrawlStats.Tasks)
 	return s
 }
 
@@ -126,6 +131,7 @@ func (s Summary) Artefacts() []Artefact {
 		{"preview_seen_rate", s.PreviewSeenRate},
 		{"mean_proof_usd", s.MeanProofUSD},
 		{"mean_actor_usd", s.MeanActorUSD},
+		{"crawl_error_rate", s.CrawlErrorRate},
 	}
 }
 

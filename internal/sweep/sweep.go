@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/synth"
@@ -31,6 +32,9 @@ type Cell struct {
 	Annotation       int     `json:"annotation_size"`
 	Workers          int     `json:"workers"`
 	CrawlConcurrency int     `json:"crawl_concurrency"`
+	// Faults is the cell's faultx fault-injection profile ("" for
+	// none) — the adversary axis of the adversarial-hosts preset.
+	Faults string `json:"faults,omitempty"`
 }
 
 // normalize fills zero fields with the same defaults core.NewStudy and
@@ -53,6 +57,10 @@ func (c Cell) normalize() Cell {
 	if c.CrawlConcurrency <= 0 {
 		c.CrawlConcurrency = def.CrawlConcurrency
 	}
+	c.Faults = strings.TrimSpace(c.Faults)
+	if c.Faults == "off" {
+		c.Faults = ""
+	}
 	return c
 }
 
@@ -64,13 +72,20 @@ func (c Cell) Options() core.Options {
 		AnnotationSize:   c.Annotation,
 		Workers:          c.Workers,
 		CrawlConcurrency: c.CrawlConcurrency,
+		Faults:           c.Faults,
 	}
 }
 
-// String renders the cell compactly for logs and error ledgers.
+// String renders the cell compactly for logs and error ledgers. The
+// faults segment appears only when set, so fault-free renderings stay
+// byte-identical to the pre-faultx era.
 func (c Cell) String() string {
-	return fmt.Sprintf("seed=%d scale=%g annotation=%d workers=%d crawl=%d",
+	s := fmt.Sprintf("seed=%d scale=%g annotation=%d workers=%d crawl=%d",
 		c.Seed, c.Scale, c.Annotation, c.Workers, c.CrawlConcurrency)
+	if c.Faults != "" {
+		s += fmt.Sprintf(" faults=%q", c.Faults)
+	}
+	return s
 }
 
 // Grid is the cross product of study parameter values. Empty
@@ -82,15 +97,21 @@ type Grid struct {
 	Annotations        []int     `json:"annotations,omitempty"`
 	Workers            []int     `json:"workers,omitempty"`
 	CrawlConcurrencies []int     `json:"crawl_concurrencies,omitempty"`
+	Faults             []string  `json:"faults,omitempty"`
 }
 
 // Cells expands the grid in deterministic plan order: scale outermost,
-// then annotation, workers, crawl concurrency, and seeds innermost —
-// so the cells of one cross-seed group are adjacent in the plan.
+// then annotation, workers, crawl concurrency, fault profile, and
+// seeds innermost — so the cells of one cross-seed group are adjacent
+// in the plan.
 func (g Grid) Cells() []Cell {
 	seeds := g.Seeds
 	if len(seeds) == 0 {
 		seeds = []uint64{0}
+	}
+	faults := g.Faults
+	if len(faults) == 0 {
+		faults = []string{""}
 	}
 	scales := g.Scales
 	if len(scales) == 0 {
@@ -113,11 +134,13 @@ func (g Grid) Cells() []Cell {
 		for _, ann := range annotations {
 			for _, w := range workers {
 				for _, cc := range crawls {
-					for _, seed := range seeds {
-						cells = append(cells, Cell{
-							Seed: seed, Scale: scale, Annotation: ann,
-							Workers: w, CrawlConcurrency: cc,
-						}.normalize())
+					for _, f := range faults {
+						for _, seed := range seeds {
+							cells = append(cells, Cell{
+								Seed: seed, Scale: scale, Annotation: ann,
+								Workers: w, CrawlConcurrency: cc, Faults: f,
+							}.normalize())
+						}
 					}
 				}
 			}
@@ -131,11 +154,28 @@ const (
 	PresetCrossSeed   = "cross-seed-stability"
 	PresetScale       = "scale-sensitivity"
 	PresetConcurrency = "crawler-concurrency"
+	PresetAdversarial = "adversarial-hosts"
 )
 
 // Presets lists the named scenario presets in display order.
 func Presets() []string {
-	return []string{PresetCrossSeed, PresetScale, PresetConcurrency}
+	return []string{PresetCrossSeed, PresetScale, PresetConcurrency, PresetAdversarial}
+}
+
+// adversaryLadder is the fault-intensity axis of the adversarial-hosts
+// preset: the fault-free baseline, a retryable-only rate limiter (the
+// artefacts must not move — only timings may), then increasing link
+// rot, then rot plus two permanently dead hosts (the paper's oron
+// story happening mid-study). The ladder measures detection recall vs
+// adversary strength.
+func adversaryLadder() []string {
+	return []string{
+		"",
+		"ratelimit=*;failures=2;retry-after=1ms",
+		"rot=0.15",
+		"rot=0.3",
+		"rot=0.3;down=oron.com,zippyshare.com",
+	}
 }
 
 // Spec is the serializable description of a sweep: a named preset
@@ -156,6 +196,10 @@ type Spec struct {
 	Annotation       int     `json:"annotation_size,omitempty"`
 	Workers          int     `json:"workers,omitempty"`
 	CrawlConcurrency int     `json:"crawl_concurrency,omitempty"`
+	// Faults is the base fault profile ("" = none) — held fixed by
+	// presets other than adversarial-hosts, which sweeps its own fault
+	// ladder instead.
+	Faults string `json:"faults,omitempty"`
 	// Grid, when set, overrides the preset entirely.
 	Grid *Grid `json:"grid,omitempty"`
 	// Parallelism bounds how many cells run at once (default 2).
@@ -185,7 +229,7 @@ func (sp Spec) presetSeeds() int {
 	switch sp.Preset {
 	case "":
 		return 1
-	case PresetScale:
+	case PresetScale, PresetAdversarial:
 		return 3
 	default:
 		return 5
@@ -207,6 +251,7 @@ func (sp Spec) Cells() ([]Cell, error) {
 	base := Cell{
 		Seed: sp.Seed, Scale: sp.Scale, Annotation: sp.Annotation,
 		Workers: sp.Workers, CrawlConcurrency: sp.CrawlConcurrency,
+		Faults: sp.Faults,
 	}.normalize()
 	if sp.Grid != nil {
 		g := *sp.Grid
@@ -232,6 +277,9 @@ func (sp Spec) Cells() ([]Cell, error) {
 		if len(g.CrawlConcurrencies) == 0 {
 			g.CrawlConcurrencies = []int{base.CrawlConcurrency}
 		}
+		if len(g.Faults) == 0 {
+			g.Faults = []string{base.Faults}
+		}
 		return g.Cells(), nil
 	}
 	seeds := sp.presetSeeds()
@@ -244,6 +292,7 @@ func (sp Spec) Cells() ([]Cell, error) {
 			Scales:      []float64{base.Scale},
 			Annotations: []int{base.Annotation}, Workers: []int{base.Workers},
 			CrawlConcurrencies: []int{base.CrawlConcurrency},
+			Faults:             []string{base.Faults},
 		}.Cells(), nil
 	case PresetScale:
 		// A scale ladder per seed: slopes of artefact-vs-scale separate
@@ -253,6 +302,7 @@ func (sp Spec) Cells() ([]Cell, error) {
 			Scales:      scaleLadder(base.Scale),
 			Annotations: []int{base.Annotation}, Workers: []int{base.Workers},
 			CrawlConcurrencies: []int{base.CrawlConcurrency},
+			Faults:             []string{base.Faults},
 		}.Cells(), nil
 	case PresetConcurrency:
 		// One world crawled at 1/2/4/8 crawler workers: artefacts must
@@ -262,6 +312,18 @@ func (sp Spec) Cells() ([]Cell, error) {
 			Scales:      []float64{base.Scale},
 			Annotations: []int{base.Annotation}, Workers: []int{base.Workers},
 			CrawlConcurrencies: []int{1, 2, 4, 8},
+			Faults:             []string{base.Faults},
+		}.Cells(), nil
+	case PresetAdversarial:
+		// Each seed's world crawled under the fault ladder: detection
+		// recall (matches, unique images, proofs) vs adversary
+		// strength, with the retryable-only rung pinning bit-identity.
+		return Grid{
+			Seeds:       seedRange(base.Seed, seeds),
+			Scales:      []float64{base.Scale},
+			Annotations: []int{base.Annotation}, Workers: []int{base.Workers},
+			CrawlConcurrencies: []int{base.CrawlConcurrency},
+			Faults:             adversaryLadder(),
 		}.Cells(), nil
 	default:
 		return nil, fmt.Errorf("sweep: unknown preset %q (have %v)", sp.Preset, Presets())
@@ -290,7 +352,7 @@ func (sp Spec) CountCells() (int, error) {
 			}
 		}
 		return mulSat(seeds, axis(len(g.Scales)), axis(len(g.Annotations)),
-			axis(len(g.Workers)), axis(len(g.CrawlConcurrencies))), nil
+			axis(len(g.Workers)), axis(len(g.CrawlConcurrencies)), axis(len(g.Faults))), nil
 	}
 	seeds := sp.presetSeeds()
 	switch sp.Preset {
@@ -301,6 +363,8 @@ func (sp Spec) CountCells() (int, error) {
 		return mulSat(seeds, len(scaleLadder(base.Scale))), nil
 	case PresetConcurrency:
 		return mulSat(seeds, 4), nil
+	case PresetAdversarial:
+		return mulSat(seeds, len(adversaryLadder())), nil
 	default:
 		return 0, fmt.Errorf("sweep: unknown preset %q (have %v)", sp.Preset, Presets())
 	}
@@ -328,15 +392,20 @@ type groupKey struct {
 	Annotation       int
 	Workers          int
 	CrawlConcurrency int
+	Faults           string
 }
 
 func (k groupKey) String() string {
-	return fmt.Sprintf("scale=%g annotation=%d workers=%d crawl=%d",
+	s := fmt.Sprintf("scale=%g annotation=%d workers=%d crawl=%d",
 		k.Scale, k.Annotation, k.Workers, k.CrawlConcurrency)
+	if k.Faults != "" {
+		s += fmt.Sprintf(" faults=%q", k.Faults)
+	}
+	return s
 }
 
-// sortGroupKeys orders keys by (scale, annotation, workers, crawl) so
-// aggregate output is stable regardless of map iteration.
+// sortGroupKeys orders keys by (scale, annotation, workers, crawl,
+// faults) so aggregate output is stable regardless of map iteration.
 func sortGroupKeys(keys []groupKey) {
 	sort.Slice(keys, func(i, j int) bool {
 		a, b := keys[i], keys[j]
@@ -349,7 +418,10 @@ func sortGroupKeys(keys []groupKey) {
 		if a.Workers != b.Workers {
 			return a.Workers < b.Workers
 		}
-		return a.CrawlConcurrency < b.CrawlConcurrency
+		if a.CrawlConcurrency != b.CrawlConcurrency {
+			return a.CrawlConcurrency < b.CrawlConcurrency
+		}
+		return a.Faults < b.Faults
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -35,7 +36,10 @@ func TestCountCellsMatchesCells(t *testing.T) {
 		{Preset: PresetScale, Seeds: 2, Scale: 0.01},
 		{Preset: PresetScale, Scale: 0.9},
 		{Preset: PresetConcurrency, Seeds: 2},
+		{Preset: PresetAdversarial},
+		{Preset: PresetAdversarial, Seeds: 2},
 		{Grid: &Grid{Scales: []float64{0.01, 0.02}}, Seeds: 3},
+		{Grid: &Grid{Faults: []string{"", "rot=0.3"}}, Seeds: 2},
 		{Grid: &Grid{Seeds: []uint64{1, 2}, Annotations: []int{100, 200}, Workers: []int{0, 2}}},
 		{Grid: &Grid{CrawlConcurrencies: []int{1, 2, 4}}},
 	}
@@ -242,6 +246,24 @@ func TestPresetPlans(t *testing.T) {
 			}
 			if !crawls[1] || !crawls[2] || !crawls[4] || !crawls[8] {
 				t.Fatalf("crawl ladder wrong: %v", crawls)
+			}
+		}},
+		{Spec{Preset: PresetAdversarial, Seeds: 2}, 2 * 5, func(t *testing.T, cells []Cell) {
+			profiles := map[string]bool{}
+			for _, c := range cells {
+				profiles[c.Faults] = true
+			}
+			if len(profiles) != 5 || !profiles[""] {
+				t.Fatalf("adversary ladder wrong: %v", profiles)
+			}
+			ok := false
+			for p := range profiles {
+				if strings.Contains(p, "down=") {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatal("adversary ladder has no dead-host rung")
 			}
 		}},
 		{Spec{}, 1, nil},

@@ -18,7 +18,25 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/faultx"
 )
+
+// StatusError is a non-200 availability response. RetryAfterHint
+// exposes the parsed Retry-After header so retrying callers (crawler.
+// HTTPClient) can honor the server's backoff request without this
+// package knowing who retries.
+type StatusError struct {
+	StatusCode int
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("wayback: status %d", e.StatusCode)
+}
+
+// RetryAfterHint returns the server's backoff request, if any.
+func (e *StatusError) RetryAfterHint() time.Duration { return e.RetryAfter }
 
 // Archive is a snapshot index. Safe for concurrent use.
 type Archive struct {
@@ -152,7 +170,10 @@ func (c *Client) SeenBefore(ctx context.Context, rawURL string, cutoff time.Time
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return false, fmt.Errorf("wayback: status %d", resp.StatusCode)
+		return false, &StatusError{
+			StatusCode: resp.StatusCode,
+			RetryAfter: faultx.ParseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	var ar availabilityResponse
 	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
