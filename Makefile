@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet fmt-check lint build test test-race bench-smoke bench-diff bench-baseline bench load-smoke load-slo load-baseline chaos clean
+.PHONY: verify vet fmt-check lint build test test-race bench-smoke bench-diff bench-baseline bench-scale bench-scale-baseline bench load-smoke load-slo load-baseline chaos clean
 
 verify: vet lint build test
 
@@ -37,7 +37,7 @@ test-race:
 # files are kept distinct from the committed BENCH_*.json baselines so
 # a smoke run never clobbers the regression reference.
 bench-smoke:
-	$(GO) test -run='^$$' -bench=StudyRun -benchtime=3x . | tee bench_pipeline.txt
+	$(GO) test -run='^$$' -bench='StudyRun(Sequential|Concurrent)$$' -benchtime=3x . | tee bench_pipeline.txt
 	$(GO) run ./cmd/benchjson -in bench_pipeline.txt -out BENCH_pipeline.fresh.json
 	$(GO) test -run='^$$' -bench=SweepCrossSeed -benchtime=3x . | tee bench_sweep.txt
 	$(GO) run ./cmd/benchjson -in bench_sweep.txt -out BENCH_sweep.fresh.json
@@ -62,6 +62,23 @@ bench-baseline: bench-smoke
 	cp BENCH_pipeline.fresh.json BENCH_pipeline.json
 	cp BENCH_sweep.fresh.json BENCH_sweep.json
 	cp BENCH_artefact.fresh.json BENCH_artefact.json
+
+# Scale-1.0 gate: the paper-scale cold numbers — synth.Generate at
+# scales 0.1/1.0 plus one complete cold StudyRun at scale 1.0 — held
+# to the committed BENCH_scale1.json baseline. One iteration each:
+# the operations are seconds-to-tens-of-seconds long, so a single
+# pass is already far above timer noise, and 3x would triple a job
+# that exists to stay runnable on every push.
+bench-scale:
+	$(GO) test -run='^$$' -bench='^BenchmarkScale' -benchtime=1x -timeout 30m . | tee bench_scale1.txt
+	$(GO) run ./cmd/benchjson -in bench_scale1.txt -out BENCH_scale1.fresh.json
+	$(GO) run ./cmd/benchjson -diff -baseline BENCH_scale1.json -in BENCH_scale1.fresh.json -tolerance $(BENCH_TOLERANCE)
+
+# Refresh the committed scale baseline after an intentional perf
+# change (then commit BENCH_scale1.json).
+bench-scale-baseline:
+	$(GO) test -run='^$$' -bench='^BenchmarkScale' -benchtime=1x -timeout 30m . | tee bench_scale1.txt
+	$(GO) run ./cmd/benchjson -in bench_scale1.txt -out BENCH_scale1.json
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
@@ -123,7 +140,7 @@ chaos:
 		> sweep_adversarial.json
 
 clean:
-	rm -f bench_pipeline.txt bench_sweep.txt bench_artefact.txt \
+	rm -f bench_pipeline.txt bench_sweep.txt bench_artefact.txt bench_scale1.txt \
 		BENCH_pipeline.fresh.json BENCH_sweep.fresh.json BENCH_artefact.fresh.json \
-		BENCH_load.fresh.json ewserve_load.log ewserve_load_bin \
+		BENCH_scale1.fresh.json BENCH_load.fresh.json ewserve_load.log ewserve_load_bin \
 		trace_load.perfetto.json sweep_adversarial.json

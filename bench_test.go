@@ -11,6 +11,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -515,6 +516,46 @@ func BenchmarkStudyRunConcurrent(b *testing.B) {
 		b.StopTimer()
 		study := core.NewStudy(studyRunOptions())
 		b.StartTimer()
+		if _, err := study.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Scale-1.0 gate ----------------------------------------------------
+
+// BenchmarkScaleSynthGenerate measures world generation alone, at the
+// development scale (0.1) and the paper scale (1.0). Generation is the
+// dominant cold-start cost (the tracing work showed the synth span
+// owning most of a cold request's critical path), so this pair is the
+// number the parallel generator and its allocation work are held to.
+// Worker count deliberately defaults (GOMAXPROCS): the benchmark gates
+// the machine class CI runs on, and Workers never changes the world
+// (TestGenerateParallelEquivalence).
+func BenchmarkScaleSynthGenerate(b *testing.B) {
+	for _, scale := range []float64{0.1, 1.0} {
+		b.Run(fmt.Sprintf("scale%.1f", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := synth.Generate(synth.Config{Seed: 2019, Scale: scale})
+				if w.Store.NumPosts() == 0 {
+					b.Fatal("degenerate world")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScale1StudyRunCold is the headline cold-start number: world
+// generation plus the full concurrent pipeline at paper scale, nothing
+// cached. CI's bench-scale job converts this plus the Generate pair
+// into BENCH_scale1.fresh.json and gates it against the committed
+// BENCH_scale1.json baseline.
+func BenchmarkScale1StudyRunCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		study := core.NewStudy(core.Options{
+			Synth:          synth.Config{Seed: 2019, Scale: 1.0},
+			AnnotationSize: 1000,
+		})
 		if _, err := study.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}

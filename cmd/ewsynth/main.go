@@ -3,13 +3,14 @@
 //
 // Usage:
 //
-//	ewsynth [-seed N] [-scale F] [-noimages]
+//	ewsynth [-seed N] [-scale F] [-workers N] [-noimages]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/synth"
@@ -18,13 +19,20 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 2019, "world seed")
 	scale := flag.Float64("scale", 0.1, "corpus scale (1.0 ≈ paper scale)")
+	workers := flag.Int("workers", 0, "generation workers (0 = GOMAXPROCS, 1 = sequential)")
 	noImages := flag.Bool("noimages", false, "skip the image world")
 	export := flag.String("export", "", "write the forum corpus as JSONL to this file")
 	flag.Parse()
 
+	cfg := synth.Config{Seed: *seed, Scale: *scale, SkipImages: *noImages, Workers: *workers}
 	start := time.Now()
-	w := synth.Generate(synth.Config{Seed: *seed, Scale: *scale, SkipImages: *noImages})
-	fmt.Printf("generated in %v\n\n", time.Since(start).Round(time.Millisecond))
+	w := synth.Generate(cfg)
+	elapsed := time.Since(start)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Printf("generated in %v (workers=%d, heap %d MiB, peak sys %d MiB)\n\n",
+		elapsed.Round(time.Millisecond), cfg.EffectiveWorkers(),
+		ms.HeapAlloc>>20, ms.Sys>>20)
 
 	if *export != "" {
 		f, err := os.Create(*export)

@@ -115,6 +115,13 @@ func NewStudy(opts Options) *Study {
 	return NewStudyWithWorld(opts, nil)
 }
 
+// NewStudyContext is NewStudy under a caller context: world generation
+// records its per-generator child spans on any tracer in ctx and fans
+// out over opts.Synth.Workers.
+func NewStudyContext(ctx context.Context, opts Options) *Study {
+	return NewStudyWithWorldContext(ctx, opts, nil)
+}
+
 // NewStudyWithWorld prepares a study over an already-generated world,
 // skipping generation — the seam the sweep engine's world cache uses
 // to share one immutable world across cells that differ only in
@@ -128,6 +135,13 @@ func NewStudy(opts Options) *Study {
 // rests on a frozen world), so the same *synth.World may back any
 // number of concurrent studies.
 func NewStudyWithWorld(opts Options, world *synth.World) *Study {
+	//lint:ignore ctxhygiene the context only scopes world generation; context-aware callers use NewStudyWithWorldContext.
+	return NewStudyWithWorldContext(context.Background(), opts, world)
+}
+
+// NewStudyWithWorldContext is NewStudyWithWorld under a caller
+// context, used when generation should trace into ctx's span tree.
+func NewStudyWithWorldContext(ctx context.Context, opts Options, world *synth.World) *Study {
 	if opts.AnnotationSize <= 0 {
 		opts.AnnotationSize = 1000
 	}
@@ -141,7 +155,7 @@ func NewStudyWithWorld(opts Options, world *synth.World) *Study {
 		opts.CrawlConcurrency = 8
 	}
 	if world == nil || world.Config != opts.Synth.Canonical() {
-		world = synth.Generate(opts.Synth)
+		world = synth.GenerateContext(ctx, opts.Synth)
 	}
 	s := &Study{
 		Opts:      opts,
@@ -418,29 +432,46 @@ type matchOutcome struct {
 	reports []photodna.MatchReport
 }
 
+// matchScratch carries the reusable buffers of one pack probe through
+// the PhotoDNA gate, pooled because the gate runs once per crawl
+// result across concurrent workers.
+type matchScratch struct {
+	hashes  []photodna.RobustHash
+	matches []photodna.BatchMatch
+}
+
+var matchScratchPool = sync.Pool{New: func() any { return new(matchScratch) }}
+
 // matchResult runs the PhotoDNA gate over one crawl result. Each image
-// is hashed exactly once; matches carry the URLs where reverse search
-// finds the same image. Pure: reporting is the caller's job, so the
-// gate can fan out across workers while reports are filed in task
-// order.
+// is hashed exactly once and the whole result — a pack's worth of
+// images — is probed in a single MatchBatch call; matches carry the
+// URLs where reverse search finds the same image. Pure: reporting is
+// the caller's job, so the gate can fan out across workers while
+// reports are filed in task order.
 func (s *Study) matchResult(ctx context.Context, r crawler.Result) matchOutcome {
 	var o matchOutcome
-	if r.Outcome != crawler.OutcomeOK {
+	if r.Outcome != crawler.OutcomeOK || len(r.Images) == 0 {
 		return o
 	}
+	sc := matchScratchPool.Get().(*matchScratch)
+	defer matchScratchPool.Put(sc)
+	sc.hashes = sc.hashes[:0]
+	for _, im := range r.Images {
+		sc.hashes = append(sc.hashes, photodna.HashImage(im))
+	}
+	sc.matches = s.World.HashList.MatchBatch(sc.hashes, sc.matches[:0])
 	// Nearly every image passes the gate, so size the safe set for all
 	// of them up front instead of growing it append by append.
 	o.safe = make([]SafeImage, 0, len(r.Images))
-	for _, im := range r.Images {
-		h := photodna.HashImage(im)
-		entry, matched := s.World.HashList.MatchHash(h)
-		if !matched {
+	for i, im := range r.Images {
+		bm := sc.matches[i]
+		if !bm.OK {
 			o.safe = append(o.safe, SafeImage{Image: im, Task: r.Task, IsPack: r.IsPack})
 			continue
 		}
 		// Report with the URLs where reverse search finds the same
 		// image, reusing the hash already computed for the gate.
-		matches := s.backend.SearchHash(ctx, h)
+		matches := s.backend.SearchHash(ctx, sc.hashes[i])
 		var urlReports []photodna.URLReport
 		if len(matches) > 0 {
 			urlReports = make([]photodna.URLReport, 0, len(matches))
@@ -453,7 +484,7 @@ func (s *Study) matchResult(ctx context.Context, r crawler.Result) matchOutcome 
 			})
 		}
 		o.reports = append(o.reports, photodna.MatchReport{
-			Entry:        entry,
+			Entry:        bm.Entry,
 			SourceThread: int(r.Task.Thread),
 			SourcePost:   int(r.Task.Post),
 			URLs:         urlReports,

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -22,7 +23,9 @@ var updateTrace = flag.Bool("update", false, "rewrite trace golden files with th
 func traceStudy(t *testing.T, tracer *tracex.Tracer, store *artefact.Store, world *synth.World) (tracex.Trace, *synth.World) {
 	t.Helper()
 	opts := Options{
-		Synth:          synth.Config{Seed: 77, Scale: 0.02},
+		// Synth workers pinned too: the synth span carries the count as
+		// an attr and its children depend on the generation path.
+		Synth:          synth.Config{Seed: 77, Scale: 0.02, Workers: 2},
 		AnnotationSize: 300,
 		// Pin both worker counts: stage spans carry them as attrs, and
 		// the default (GOMAXPROCS) would make the golden machine-shaped.
@@ -33,8 +36,9 @@ func traceStudy(t *testing.T, tracer *tracex.Tracer, store *artefact.Store, worl
 	ctx, root := tracex.StartSpan(ctx, "run")
 	var s *Study
 	if world == nil {
-		_, synthSpan := tracex.StartSpan(ctx, "synth")
-		s = NewStudy(opts)
+		sctx, synthSpan := tracex.StartSpan(ctx, "synth")
+		synthSpan.SetAttr("workers", strconv.Itoa(opts.Synth.EffectiveWorkers()))
+		s = NewStudyContext(sctx, opts)
 		synthSpan.End()
 	} else {
 		s = NewStudyWithWorld(opts, world)

@@ -8,6 +8,7 @@
 package crawler
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -437,6 +438,20 @@ func (c *Crawler) politeness(ctx context.Context, host string) error {
 	}
 }
 
+// bodyPool recycles response-body buffers across fetches; outsized
+// bodies are dropped on return instead of pinning pool memory.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBody bounds the buffer capacity the pool retains (a scale-1
+// pack zip is a few hundred KiB; anything larger is an outlier).
+const maxPooledBody = 4 << 20
+
+func putBodyBuf(b *bytes.Buffer) {
+	if b.Cap() <= maxPooledBody {
+		bodyPool.Put(b)
+	}
+}
+
 // attempt performs a single HTTP round trip and decode. A non-nil
 // error means "retryable transport failure"; definitive outcomes
 // return err == nil.
@@ -473,10 +488,16 @@ func (c *Crawler) attempt(ctx context.Context, target string) (Outcome, []*image
 	if resp.StatusCode != http.StatusOK {
 		return OutcomeError, nil, false, &StatusError{StatusCode: resp.StatusCode}
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
-	if err != nil {
+	// Bodies are read into pooled buffers: a crawl reads one body per
+	// page and Decode/DecodePackZip copy every pixel out, so nothing
+	// below retains the buffer once attempt returns.
+	buf := bodyPool.Get().(*bytes.Buffer)
+	defer putBodyBuf(buf)
+	buf.Reset()
+	if _, err := buf.ReadFrom(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes)); err != nil {
 		return OutcomeError, nil, false, err
 	}
+	body := buf.Bytes()
 	ct := resp.Header.Get("Content-Type")
 	switch {
 	case strings.HasPrefix(ct, hosting.ContentTypeSIMG):

@@ -20,6 +20,7 @@ package imagex
 import (
 	"archive/zip"
 	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -662,12 +663,43 @@ func Decode(data []byte) (*Image, error) {
 
 // --- Pack archives ---------------------------------------------------
 
+// flatePool recycles deflate writers across pack encodes:
+// flate.NewWriter builds ~64 KiB of match tables per call, which
+// dominated pack encoding when every zip entry paid it.
+var flatePool = sync.Pool{New: func() any { return (*flate.Writer)(nil) }}
+
+// pooledFlate hands a zip writer pooled deflate writers at BestSpeed:
+// synthetic rasters are noisy enough that the default level buys a few
+// percent of size for several times the CPU, and pack payloads only
+// round-trip through the in-process crawler.
+type pooledFlate struct{ fw *flate.Writer }
+
+func (p *pooledFlate) Write(b []byte) (int, error) { return p.fw.Write(b) }
+
+func (p *pooledFlate) Close() error {
+	err := p.fw.Close()
+	flatePool.Put(p.fw)
+	p.fw = nil
+	return err
+}
+
 // EncodePackZip bundles images into a zip archive with entries
 // 0001.simg, 0002.simg, ... — the shape of the packs actors upload to
 // cloud storage.
 func EncodePackZip(images []*Image) ([]byte, error) {
 	var buf bytes.Buffer
 	zw := zip.NewWriter(&buf)
+	zw.RegisterCompressor(zip.Deflate, func(out io.Writer) (io.WriteCloser, error) {
+		if fw, _ := flatePool.Get().(*flate.Writer); fw != nil {
+			fw.Reset(out)
+			return &pooledFlate{fw: fw}, nil
+		}
+		fw, err := flate.NewWriter(out, flate.BestSpeed)
+		if err != nil {
+			return nil, err
+		}
+		return &pooledFlate{fw: fw}, nil
+	})
 	for i, im := range images {
 		w, err := zw.Create(fmt.Sprintf("%04d.simg", i+1))
 		if err != nil {

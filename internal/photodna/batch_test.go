@@ -1,0 +1,205 @@
+package photodna
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+// TestMatchBatchEquivalence pins the batch probe to the one-at-a-time
+// path: for random hashlists and radii on both sides of the pigeonhole
+// fallback boundary, MatchBatch over a pack of queries must return
+// exactly MatchHash's (Entry, ok) per query, in query order.
+func TestMatchBatchEquivalence(t *testing.T) {
+	rng := randx.New(0x6b21)
+	for _, radius := range []int{1, 3, DefaultRadius, 15, 16, 40} {
+		for trial := 0; trial < 8; trial++ {
+			hl := NewHashList(radius)
+			entries := make([]RobustHash, 0, 150)
+			for i := 0; i < 150; i++ {
+				h := randHash(rng)
+				entries = append(entries, h)
+				hl.AddHash(h, Entry{ID: rng.Intn(40), Actionable: i%2 == 0})
+			}
+			var queries []RobustHash
+			for i := 0; i < 40; i++ {
+				queries = append(queries, randHash(rng))
+			}
+			for i := 0; i < 40; i++ {
+				base := entries[rng.Intn(len(entries))]
+				for _, d := range []int{radius - 1, radius, radius + 1} {
+					if d >= 0 && d <= 128 {
+						queries = append(queries, flipBits(rng, base, d))
+					}
+				}
+			}
+			queries = append(queries, entries[0], flipBits(rng, entries[1], 1))
+
+			got := hl.MatchBatch(queries, nil)
+			if len(got) != len(queries) {
+				t.Fatalf("radius=%d trial=%d: %d results for %d queries", radius, trial, len(got), len(queries))
+			}
+			for qi, q := range queries {
+				wantE, wantOK := hl.MatchHash(q)
+				if got[qi].OK != wantOK || got[qi].Entry != wantE {
+					t.Fatalf("radius=%d trial=%d query=%d: batch=(%+v,%v) single=(%+v,%v)",
+						radius, trial, qi, got[qi].Entry, got[qi].OK, wantE, wantOK)
+				}
+			}
+		}
+	}
+}
+
+// TestMatchBatchDuplicateChunkCandidates plants entries that share
+// many chunks with the query, so every probe revisits the same
+// candidates through multiple buckets — the case the batch path's
+// first-shared-chunk dedup must skip without changing the winner or
+// the lowest-ID tie-break.
+func TestMatchBatchDuplicateChunkCandidates(t *testing.T) {
+	rng := randx.New(41)
+	for trial := 0; trial < 20; trial++ {
+		hl := NewHashList(8)
+		q := randHash(rng)
+		// Entries at small distances share nearly every chunk with q
+		// (d bits flipped can touch at most d chunks), including q
+		// itself at distance 0: sixteen shared chunks, fifteen skipped
+		// revisits.
+		hl.AddHash(q, Entry{ID: 30})
+		for _, id := range rng.Perm(6) {
+			hl.AddHash(flipBits(rng, q, 2), Entry{ID: id})
+		}
+		got := hl.MatchBatch([]RobustHash{q}, nil)
+		if !got[0].OK || got[0].Entry.ID != 30 {
+			t.Fatalf("trial %d: got (%+v, %v), want the exact hit ID 30", trial, got[0].Entry, got[0].OK)
+		}
+		// Remove the exact hit from contention: same-distance entries
+		// must tie-break on lowest ID despite the duplicated buckets.
+		hl2 := NewHashList(8)
+		for _, id := range rng.Perm(6) {
+			hl2.AddHash(flipBits(rng, q, 3), Entry{ID: id + 1})
+		}
+		got = hl2.MatchBatch([]RobustHash{q}, nil)
+		if !got[0].OK || got[0].Entry.ID != 1 {
+			t.Fatalf("trial %d: got (%+v, %v), want lowest equidistant ID 1", trial, got[0].Entry, got[0].OK)
+		}
+	}
+}
+
+// TestMatchBatchPigeonholeBoundary pins the exact radius where the
+// chunk index's guarantee ends: at radius 15 an entry at distance 15
+// must still be found through the index (15 flipped bits cannot cover
+// all 16 chunks), and at radius 16 — where a 16-bit flip CAN touch
+// every chunk — the linear fallback must find an entry the index
+// would miss.
+func TestMatchBatchPigeonholeBoundary(t *testing.T) {
+	rng := randx.New(99)
+
+	// radius 15, entry at distance exactly 15: indexable worst case.
+	hl := NewHashList(15)
+	q := randHash(rng)
+	hl.AddHash(flipBits(rng, q, 15), Entry{ID: 5})
+	got := hl.MatchBatch([]RobustHash{q}, nil)
+	if !got[0].OK || got[0].Entry.ID != 5 {
+		t.Fatalf("radius 15: got (%+v, %v), want the distance-15 entry", got[0].Entry, got[0].OK)
+	}
+
+	// radius 16, entry at distance 16 with one flipped bit in every
+	// chunk: shares no chunk with q, so only the fallback scan finds
+	// it.
+	hl = NewHashList(16)
+	e := q
+	for c := 0; c < numChunks; c++ {
+		bit := uint(8*c + rng.Intn(8))
+		if bit < 64 {
+			e.A ^= 1 << bit
+		} else {
+			e.D ^= 1 << (bit - 64)
+		}
+	}
+	for c := 0; c < numChunks; c++ {
+		if chunkOf(e, c) == chunkOf(q, c) {
+			t.Fatalf("construction bug: chunk %d still shared", c)
+		}
+	}
+	hl.AddHash(e, Entry{ID: 7})
+	got = hl.MatchBatch([]RobustHash{q}, nil)
+	if !got[0].OK || got[0].Entry.ID != 7 {
+		t.Fatalf("radius 16: got (%+v, %v), want the all-chunks-differ entry via fallback", got[0].Entry, got[0].OK)
+	}
+}
+
+// TestMatchBatchSmallInputs covers the degenerate shapes: empty packs,
+// empty hashlists and single-entry batches.
+func TestMatchBatchSmallInputs(t *testing.T) {
+	hl := NewHashList(0)
+	if got := hl.MatchBatch(nil, nil); len(got) != 0 {
+		t.Fatalf("empty batch on empty list: %d results, want 0", len(got))
+	}
+	q := RobustHash{A: 0xabcd}
+	if got := hl.MatchBatch([]RobustHash{q}, nil); len(got) != 1 || got[0].OK {
+		t.Fatalf("single query on empty list: %+v, want one miss", got)
+	}
+	hl.AddHash(q, Entry{ID: 3})
+	if got := hl.MatchBatch(nil, nil); len(got) != 0 {
+		t.Fatalf("empty batch on populated list: %d results, want 0", len(got))
+	}
+	got := hl.MatchBatch([]RobustHash{q}, nil)
+	if len(got) != 1 || !got[0].OK || got[0].Entry.ID != 3 {
+		t.Fatalf("single-entry batch: %+v, want the exact hit", got)
+	}
+	// Reusing dst appends after the existing results.
+	got = hl.MatchBatch([]RobustHash{q}, got[:0])
+	if len(got) != 1 || !got[0].OK {
+		t.Fatalf("dst reuse: %+v, want one hit", got)
+	}
+}
+
+// TestMatchBatchZeroAlloc pins the streaming contract: with a
+// pre-sized dst, a batch probe must not allocate.
+func TestMatchBatchZeroAlloc(t *testing.T) {
+	rng := randx.New(13)
+	hl := NewHashList(0)
+	for i := 0; i < 500; i++ {
+		hl.AddHash(randHash(rng), Entry{ID: i})
+	}
+	queries := make([]RobustHash, 32)
+	for i := range queries {
+		queries[i] = randHash(rng)
+	}
+	dst := make([]BatchMatch, 0, len(queries))
+	if avg := testing.AllocsPerRun(100, func() { dst = hl.MatchBatch(queries, dst[:0]) }); avg != 0 {
+		t.Fatalf("MatchBatch allocates %.1f per op, want 0", avg)
+	}
+}
+
+// BenchmarkMatchBatch compares a batched pack probe against the same
+// queries matched one at a time, at the study's real hashlist size (a
+// few dozen flagged images — the linear-cutover path) and at a size
+// that exercises the chunk index.
+func BenchmarkMatchBatch(b *testing.B) {
+	for _, size := range []int{36, 5000} {
+		rng := randx.New(17)
+		hl := NewHashList(0)
+		for i := 0; i < size; i++ {
+			hl.AddHash(randHash(rng), Entry{ID: i})
+		}
+		queries := make([]RobustHash, 64)
+		for i := range queries {
+			queries[i] = randHash(rng)
+		}
+		b.Run(fmt.Sprintf("batched/%d", size), func(b *testing.B) {
+			dst := make([]BatchMatch, 0, len(queries))
+			for i := 0; i < b.N; i++ {
+				dst = hl.MatchBatch(queries, dst[:0])
+			}
+		})
+		b.Run(fmt.Sprintf("single/%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					hl.MatchHash(q)
+				}
+			}
+		})
+	}
+}

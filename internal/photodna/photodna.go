@@ -18,6 +18,7 @@ package photodna
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 
@@ -165,12 +166,25 @@ func chunkOf(h RobustHash, c int) byte {
 // full scan — including the deterministic lowest-ID tie-break — which
 // TestMatchHashIndexEquivalence pins.
 type HashList struct {
-	mu      sync.RWMutex
-	radius  int
-	entries map[RobustHash]Entry
-	// index maps (chunk number << 8 | chunk value) to the entry hashes
-	// carrying that chunk value. A hash appears once per chunk.
-	index map[uint16][]RobustHash
+	mu     sync.RWMutex
+	radius int
+	// list holds the entries in insertion order — the dense layout the
+	// linear scan and the index buckets both walk, so matching touches
+	// no map on the hit path.
+	list []hashEntry
+	// pos maps a hash to its list slot, for existence checks and
+	// replacement.
+	pos map[RobustHash]int32
+	// index maps (chunk number << 8 | chunk value) to the list
+	// positions of the entries carrying that chunk value. An entry
+	// appears once per chunk.
+	index map[uint16][]int32
+}
+
+// hashEntry is one stored (hash, entry) pair.
+type hashEntry struct {
+	hash  RobustHash
+	entry Entry
 }
 
 // DefaultRadius is the matching radius used by the study: wide enough
@@ -186,9 +200,9 @@ func NewHashList(radius int) *HashList {
 		radius = DefaultRadius
 	}
 	return &HashList{
-		radius:  radius,
-		entries: make(map[RobustHash]Entry),
-		index:   make(map[uint16][]RobustHash),
+		radius: radius,
+		pos:    make(map[RobustHash]int32),
+		index:  make(map[uint16][]int32),
 	}
 }
 
@@ -202,20 +216,24 @@ func (hl *HashList) Add(im *imagex.Image, e Entry) {
 func (hl *HashList) AddHash(h RobustHash, e Entry) {
 	hl.mu.Lock()
 	defer hl.mu.Unlock()
-	if _, exists := hl.entries[h]; !exists {
-		for c := 0; c < numChunks; c++ {
-			k := uint16(c)<<8 | uint16(chunkOf(h, c))
-			hl.index[k] = append(hl.index[k], h)
-		}
+	if i, exists := hl.pos[h]; exists {
+		hl.list[i].entry = e
+		return
 	}
-	hl.entries[h] = e
+	i := int32(len(hl.list))
+	hl.pos[h] = i
+	hl.list = append(hl.list, hashEntry{hash: h, entry: e})
+	for c := 0; c < numChunks; c++ {
+		k := uint16(c)<<8 | uint16(chunkOf(h, c))
+		hl.index[k] = append(hl.index[k], i)
+	}
 }
 
 // Len returns the number of entries.
 func (hl *HashList) Len() int {
 	hl.mu.RLock()
 	defer hl.mu.RUnlock()
-	return len(hl.entries)
+	return len(hl.list)
 }
 
 // Match hashes the image and reports the closest entry within the
@@ -240,23 +258,102 @@ func (hl *HashList) MatchHash(h RobustHash) (Entry, bool) {
 	var found Entry
 	ok := false
 	for c := 0; c < numChunks; c++ {
-		for _, eh := range hl.index[uint16(c)<<8|uint16(chunkOf(h, c))] {
-			d := h.Distance(eh)
+		for _, pi := range hl.index[uint16(c)<<8|uint16(chunkOf(h, c))] {
+			ent := &hl.list[pi]
+			d := h.Distance(ent.hash)
 			if d > best || d > hl.radius {
 				continue
 			}
 			// A candidate sharing several chunks is visited once per
 			// shared chunk; re-evaluation is a no-op (same distance,
 			// same ID), so no dedup set is needed.
-			e := hl.entries[eh]
-			if d < best || !ok || e.ID < found.ID {
+			if d < best || !ok || ent.entry.ID < found.ID {
 				best = d
-				found = e
+				found = ent.entry
 				ok = true
 			}
 		}
 	}
 	return found, ok
+}
+
+// BatchMatch is one per-query outcome of MatchBatch.
+type BatchMatch struct {
+	Entry Entry
+	OK    bool
+}
+
+// batchLinearCutover is the list size below which a per-query linear
+// scan beats the chunk index: sixteen bucket-map probes cost more than
+// popcounting that many entries outright. The study's real hashlist
+// (a few dozen flagged images) lives far below it, so pack probes skip
+// the map entirely.
+const batchLinearCutover = 4 * numChunks
+
+// MatchBatch matches every hash in hs, appending one BatchMatch per
+// query to dst (which may be nil) and returning the extended slice.
+// Results are exactly MatchHash's, query by query — the equivalence
+// test pins that — with the whole pack probed under one read lock and
+// each distance taken as popcounts over the two uint64 XOR words. Small
+// hashlists scan linearly instead of paying sixteen bucket probes per
+// query, and on the indexed path a within-radius candidate sharing
+// several chunks with its query is scored only at the first shared
+// chunk (revisits through later buckets are skipped). Callers stream
+// packs through a reused dst to keep matching allocation-free.
+func (hl *HashList) MatchBatch(hs []RobustHash, dst []BatchMatch) []BatchMatch {
+	hl.mu.RLock()
+	defer hl.mu.RUnlock()
+	if hl.radius >= numChunks || len(hl.list) < batchLinearCutover {
+		// Wide radii lose the pigeonhole guarantee (like MatchHash);
+		// small lists are cheaper to scan than to probe.
+		for _, h := range hs {
+			e, ok := hl.matchHashLinear(h)
+			dst = append(dst, BatchMatch{Entry: e, OK: ok})
+		}
+		return dst
+	}
+	for _, h := range hs {
+		best := hl.radius + 1
+		var found Entry
+		ok := false
+		qa, qd := uint64(h.A), uint64(h.D)
+		for c := 0; c < numChunks; c++ {
+		candidates:
+			for _, pi := range hl.index[uint16(c)<<8|uint16(chunkOf(h, c))] {
+				ent := &hl.list[pi]
+				xa := qa ^ uint64(ent.hash.A)
+				xd := qd ^ uint64(ent.hash.D)
+				d := bits.OnesCount64(xa) + bits.OnesCount64(xd)
+				if d > best || d > hl.radius {
+					// Far candidates are rejected on the popcount
+					// alone, revisits included — a distance check is
+					// cheaper than any dedup test.
+					continue
+				}
+				// A within-radius candidate sits in every bucket whose
+				// chunk it shares with the query (a zero XOR byte).
+				// Chunk c is zero by construction; if an earlier chunk
+				// is too, this is a revisit of a candidate already
+				// scored there — skip it before the entry lookup.
+				for c2 := 0; c2 < c; c2++ {
+					if c2 < 8 {
+						if byte(xa>>(8*uint(c2))) == 0 {
+							continue candidates
+						}
+					} else if byte(xd>>(8*uint(c2-8))) == 0 {
+						continue candidates
+					}
+				}
+				if d < best || !ok || ent.entry.ID < found.ID {
+					best = d
+					found = ent.entry
+					ok = true
+				}
+			}
+		}
+		dst = append(dst, BatchMatch{Entry: found, OK: ok})
+	}
+	return dst
 }
 
 // matchHashLinear is the reference full scan over every entry. It is
@@ -267,14 +364,15 @@ func (hl *HashList) matchHashLinear(h RobustHash) (Entry, bool) {
 	best := hl.radius + 1
 	var found Entry
 	ok := false
-	for eh, e := range hl.entries {
-		d := h.Distance(eh)
+	for i := range hl.list {
+		ent := &hl.list[i]
+		d := h.Distance(ent.hash)
 		if d > best || d > hl.radius {
 			continue
 		}
-		if d < best || !ok || e.ID < found.ID {
+		if d < best || !ok || ent.entry.ID < found.ID {
 			best = d
-			found = e
+			found = ent.entry
 			ok = true
 		}
 	}

@@ -280,7 +280,7 @@ func (c Canonical) key() string {
 // coreOptions expands the canonical options for core.NewStudy.
 func (c Canonical) coreOptions() core.Options {
 	return core.Options{
-		Synth:            synth.Config{Seed: c.Seed, Scale: c.Scale},
+		Synth:            synth.Config{Seed: c.Seed, Scale: c.Scale, Workers: c.Workers},
 		AnnotationSize:   c.AnnotationSize,
 		Workers:          c.Workers,
 		CrawlConcurrency: c.CrawlConcurrency,
@@ -601,11 +601,12 @@ func (s *Service) execute(r *run) {
 	// miss as the generation cost the critical-path report attributes.
 	opts := r.opts.coreOptions()
 	var study *core.Study
-	_, synthSpan := tracex.StartSpan(ctx, "synth")
+	sctx, synthSpan := tracex.StartSpan(ctx, "synth")
+	synthSpan.SetAttr("workers", strconv.Itoa(opts.Synth.EffectiveWorkers()))
 	if s.worlds != nil {
-		study = core.NewStudyWithWorld(opts, s.worlds.Get(opts.Synth))
+		study = core.NewStudyWithWorldContext(sctx, opts, s.worlds.GetContext(sctx, opts.Synth))
 	} else {
-		study = core.NewStudy(opts)
+		study = core.NewStudyContext(sctx, opts)
 	}
 	synthSpan.End()
 	if s.memo != nil {

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/synth"
@@ -57,6 +58,15 @@ func NewWorldCache(max int) *WorldCache {
 // fully-written configs share an entry exactly when core.NewStudy
 // would build the same world for both.
 func (wc *WorldCache) Get(cfg synth.Config) *synth.World {
+	//lint:ignore ctxhygiene context-free convenience wrapper; traced sweeps use GetContext.
+	return wc.GetContext(context.Background(), cfg)
+}
+
+// GetContext is Get under a caller context: a cache miss generates
+// with cfg's worker count, tracing into ctx. The cache key is the
+// canonical config — Workers is an execution knob, never part of the
+// key, so cells differing only in worker count share one world.
+func (wc *WorldCache) GetContext(ctx context.Context, cfg synth.Config) *synth.World {
 	key := cfg.Canonical()
 	wc.mu.Lock()
 	e, ok := wc.entries[key]
@@ -74,7 +84,11 @@ func (wc *WorldCache) Get(cfg synth.Config) *synth.World {
 	}
 	wc.mu.Unlock()
 	e.once.Do(func() {
-		e.world = synth.Generate(key)
+		// Generate with the caller's Workers knob (the canonical key
+		// has it zeroed); the generated world is identical either way.
+		gcfg := key
+		gcfg.Workers = cfg.Workers
+		e.world = synth.GenerateContext(ctx, gcfg)
 		wc.mu.Lock()
 		wc.generated++
 		wc.mu.Unlock()

@@ -12,9 +12,19 @@
 // Config.Seed via labelled PCG streams, so any table in the study is
 // exactly reproducible, and Config.Scale shrinks the corpus linearly
 // while keeping rates and distribution shapes fixed.
+//
+// Generation is internally parallel: the random walk that draws every
+// value stays sequential, while image rendering, hashing and hosting
+// uploads fan out over Config.Workers goroutines with an ordered
+// applier (exec.go), so the generated world is bit-identical for
+// every worker count — GenerateSequential is the inline reference and
+// the equivalence test pins Generate against it.
 package synth
 
-import "time"
+import (
+	"runtime"
+	"time"
+)
 
 // Config parameterises world generation.
 type Config struct {
@@ -28,6 +38,13 @@ type Config struct {
 	// SkipImages disables the image world (hosting, packs, hashlist,
 	// reverse index) for analyses that only need the forum corpus.
 	SkipImages bool
+	// Workers bounds the goroutines used for image rendering, hashing
+	// and hosting uploads during generation; <= 0 means GOMAXPROCS, 1
+	// forces the inline path. Workers never changes the generated
+	// world (generation is bit-identical across worker counts), so
+	// Canonical zeroes it: it is an execution knob, not part of the
+	// world's identity, and must stay out of every cache and memo key.
+	Workers int
 }
 
 // DefaultConfig returns a small, fast configuration.
@@ -39,8 +56,22 @@ func DefaultConfig() Config {
 // the identity under which two configs generate the same world.
 // Config is comparable, so the canonical form is a cache key: the
 // sweep engine's world cache shares one generated world across all
-// study cells whose canonical synth configs are equal.
-func (c Config) Canonical() Config { return c.withDefaults() }
+// study cells whose canonical synth configs are equal. Workers is
+// zeroed: it sizes a goroutine pool and cannot move a result, so
+// configs differing only in Workers share one world.
+func (c Config) Canonical() Config {
+	c.Workers = 0
+	return c.withDefaults()
+}
+
+// EffectiveWorkers resolves the Workers knob to the goroutine count
+// generation will actually use (GOMAXPROCS when unset).
+func (c Config) EffectiveWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 func (c Config) withDefaults() Config {
 	if c.Scale <= 0 {

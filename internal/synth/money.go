@@ -32,6 +32,9 @@ func (w *World) genProofLink(st *forumState, author forum.ActorID, tm time.Time,
 	url := fmt.Sprintf("https://%s/%s", domain, path)
 	pt := ProofTruth{URL: url, Actor: author, Date: tm}
 
+	// All randomness (including the proof contents) is drawn on the
+	// walk; only the rendering and upload defer. proof is captured by
+	// value and models are immutable during the forum phase.
 	site, haveSite := w.Web.Site(domain)
 	r := rng.Float64()
 	switch {
@@ -41,17 +44,24 @@ func (w *World) genProofLink(st *forumState, author forum.ActorID, tm time.Time,
 		pt.Kind = ProofEarnings
 		proof := w.synthProof(rng, author, tm)
 		pt.Truth = proof
-		site.PutImage(path, earnings.RenderProofImage(rng.Uint64(), proof))
+		pseed := rng.Uint64()
+		w.do(func() {
+			site.PutImage(path, earnings.RenderProofImage(pseed, proof))
+		}, nil)
 	case r < 0.88:
 		pt.Kind = ProofChat
-		site.PutImage(path, imagex.GenScreenshot(rng.Uint64(), []string{
-			"HEY CUTIE", "WANNA SEE MORE", "SEND 20 FIRST", "OK SENDING NOW",
-		}, 150, 44))
+		sseed := rng.Uint64()
+		w.do(func() {
+			site.PutImage(path, imagex.GenScreenshot(sseed, []string{
+				"HEY CUTIE", "WANNA SEE MORE", "SEND 20 FIRST", "OK SENDING NOW",
+			}, 150, 44))
+		}, nil)
 	default:
 		pt.Kind = ProofPreview
 		if len(w.Models) > 0 {
 			m := w.Models[rng.Intn(len(w.Models))]
-			site.PutImage(path, w.ModelImage(m, rng.Intn(len(m.Images))))
+			idx := rng.Intn(len(m.Images))
+			w.do(func() { site.PutImage(path, w.ModelImage(m, idx)) }, nil)
 		} else {
 			pt.Kind = ProofDead
 		}

@@ -142,33 +142,60 @@ func (w *World) uploadPreview(st *forumState, model *Model, created time.Time) s
 	if !ok {
 		return url
 	}
+	// Every branch draws its randomness on the walk, in the original
+	// order; the rendering and upload run as a deferred job. Paths are
+	// unique (nextToken) and hosting sites are mutex-protected maps, so
+	// concurrent Put+SetStatus pairs commute — no ordered apply needed.
+	// model may be captured directly: the forum phase never mutates
+	// models.
 	r := rng.Float64()
 	switch {
 	case r < 0.21:
 		// Rotted: never registered → 404.
 	case r < 0.41:
-		site.PutImage(path, imagex.New(8, 8, 0)) // placeholder, then takedown
-		site.SetStatus(path, hosting.StatusTakedown)
+		w.do(func() {
+			site.PutImage(path, imagex.New(8, 8, 0)) // placeholder, then takedown
+			site.SetStatus(path, hosting.StatusTakedown)
+		}, nil)
 	case r < 0.51 && model != nil:
-		site.PutImage(path, imagex.GenThumbnailGrid(rng.Uint64(), model.Seed, 160, 110))
+		gseed := rng.Uint64()
+		w.do(func() {
+			site.PutImage(path, imagex.GenThumbnailGrid(gseed, model.Seed, 160, 110))
+		}, nil)
 	case model != nil:
 		// A genuine preview: one of the model's "hot" (most reposted)
 		// images, possibly modified.
 		idx := w.hotImage(rng, model)
-		img := w.ModelImage(model, idx)
-		// img is freshly regenerated, so the preview modifications run
-		// in place on it instead of allocating transformed copies.
+		wm := ""
+		var shade, recompress bool
 		switch {
 		case rng.Bool(0.30):
-			img = img.Watermark(strings.ToUpper(st.spec.Name[:2]) + ".NET")
+			wm = strings.ToUpper(st.spec.Name[:2]) + ".NET"
 		case rng.Bool(0.20):
-			img.ShadeInto(img, 0.25)
+			shade = true
 		case rng.Bool(0.25):
-			img.RecompressInto(img, 24)
+			recompress = true
 		}
-		site.PutImage(path, img)
+		w.do(func() {
+			img := w.ModelImage(model, idx)
+			// img is freshly regenerated, so the preview modifications
+			// run in place on it instead of allocating transformed
+			// copies.
+			switch {
+			case wm != "":
+				img = img.Watermark(wm)
+			case shade:
+				img.ShadeInto(img, 0.25)
+			case recompress:
+				img.RecompressInto(img, 24)
+			}
+			site.PutImage(path, img)
+		}, nil)
 	default:
-		site.PutImage(path, imagex.GenLandscape(rng.Uint64(), w.Config.ImageSize, false))
+		lseed := rng.Uint64()
+		w.do(func() {
+			site.PutImage(path, imagex.GenLandscape(lseed, w.Config.ImageSize, false))
+		}, nil)
 	}
 	return url
 }
@@ -204,46 +231,91 @@ func (w *World) uploadPack(st *forumState, model *Model) (string, bool) {
 	}
 
 	// Compose the pack: ~80% of the model's shoot, with the transform
-	// mix actors apply (mirroring produces the zero-match images).
-	var images []*imagex.Image
+	// mix actors apply (mirroring produces the zero-match images). The
+	// walk draws every inclusion and transform decision in the original
+	// order; rendering, zipping and the upload run as a deferred job
+	// (model is immutable during the forum phase, the path is unique).
+	members := make([]packMember, 0, len(model.Images))
 	for i := range model.Images {
 		if rng.Bool(0.2) && i != model.Flagged {
 			continue
 		}
-		// img is freshly regenerated per pack member, so the actor
-		// transform mix runs in place instead of allocating copies.
-		img := w.ModelImage(model, i)
+		pm := packMember{index: i}
 		r := rng.Float64()
 		switch {
 		case i == model.Flagged:
 			// Flagged material circulates unmodified or recompressed —
 			// PhotoDNA must still match it.
 			if rng.Bool(0.5) {
-				img.RecompressInto(img, 32)
+				pm.transform = packRecompress32
 			}
 		case r < 0.20:
-			img.RecompressInto(img, 24)
+			pm.transform = packRecompress24
 		case r < 0.25:
-			img = img.Watermark("PACK")
+			pm.transform = packWatermark
 		case r < 0.30:
-			img.MirrorInto(img)
+			pm.transform = packMirror
 		}
-		images = append(images, img)
+		members = append(members, pm)
 	}
-	if err := site.PutPack(path, images); err != nil {
-		return url, false
-	}
+	// The status draw ran after PutPack in the sequential code, but
+	// PutPack consumes no randomness, so drawing it here is identical.
+	var status hosting.ObjectStatus
+	setStatus := false
 	if !flagged {
 		r := rng.Float64()
 		switch {
 		case r < 0.17:
-			site.SetStatus(path, hosting.StatusDeleted)
+			status, setStatus = hosting.StatusDeleted, true
 		case r < 0.27:
-			site.SetStatus(path, hosting.StatusTakedown)
+			status, setStatus = hosting.StatusTakedown, true
 		}
 	}
+	w.do(func() {
+		images := make([]*imagex.Image, 0, len(members))
+		for _, pm := range members {
+			// img is freshly regenerated per pack member, so the actor
+			// transform mix runs in place instead of allocating copies.
+			img := w.ModelImage(model, pm.index)
+			switch pm.transform {
+			case packRecompress32:
+				img.RecompressInto(img, 32)
+			case packRecompress24:
+				img.RecompressInto(img, 24)
+			case packWatermark:
+				img = img.Watermark("PACK")
+			case packMirror:
+				img.MirrorInto(img)
+			}
+			images = append(images, img)
+		}
+		// PutPack's only error path is zip encoding into a bytes.Buffer,
+		// which cannot fail; the walk has already committed to the URL.
+		_ = site.PutPack(path, images)
+		if setStatus {
+			site.SetStatus(path, status)
+		}
+	}, nil)
 	return url, flagged
 }
+
+// packMember is one walk-decided pack entry: which model image and
+// which actor transform the deferred render applies to it.
+type packMember struct {
+	index     int
+	transform packTransform
+}
+
+// packTransform enumerates the uploadPack transform mix.
+type packTransform int
+
+const (
+	packKeep packTransform = iota
+	packRecompress32
+	packRecompress24
+	packWatermark
+	packMirror
+)
 
 // kindOfSite reports the whitelist kind the hosting world would
 // advertise for a domain (used to wire snowball sampling in tests and

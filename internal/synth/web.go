@@ -144,31 +144,44 @@ func (w *World) genWeb(rng *randx.Rand) {
 		if !m.Indexed {
 			continue
 		}
-		// Index the model's images: origin record plus reposts.
+		// Index the model's images: origin record plus reposts. The
+		// walk draws every date, domain and URL in the sequential
+		// order; hashing (which consumes no randomness — GenModel and
+		// Hash128Of are pure in their arguments) is deferred to a
+		// render job, and the ordered apply inserts the records
+		// exactly where the sequential path would. Captures are
+		// scalars, never *Model: the flagged loop below mutates models
+		// after these jobs are in flight.
 		for i := range m.Images {
-			img := w.ModelImage(m, i)
-			h := imagex.Hash128Of(img)
+			p := &indexPlan{
+				seed:    m.Seed,
+				variant: m.Images[i].Variant,
+				pose:    m.Images[i].Pose,
+				size:    cfg.ImageSize,
+			}
 			crawl := m.OriginDate.AddDate(0, 0, rng.Intn(120))
-			w.Reverse.Add(h, reverse.Record{
+			p.origin = reverse.Record{
 				URL:       m.Images[i].OriginURL,
 				Domain:    m.OriginDomain,
 				Backlink:  fmt.Sprintf("http://%s/%s/", m.OriginDomain, m.Name),
 				CrawlDate: crawl,
-			})
-			w.Wayback.Add(m.Images[i].OriginURL, m.OriginDate.AddDate(0, 0, rng.Intn(60)))
+			}
+			p.originCapture = m.OriginDate.AddDate(0, 0, rng.Intn(60))
 			for r := 1; r < m.Images[i].Reposts; r++ {
 				d := randx.Pick(rng, repostPool)
-				u := fmt.Sprintf("http://%s/p/%d%04d.jpg", d, mi, i*61+r)
-				w.Reverse.Add(h, reverse.Record{
-					URL:       u,
+				rp := repostPlan{rec: reverse.Record{
+					URL:       fmt.Sprintf("http://%s/p/%d%04d.jpg", d, mi, i*61+r),
 					Domain:    d,
 					Backlink:  fmt.Sprintf("http://%s/p/%d", d, mi),
 					CrawlDate: crawl.AddDate(0, 0, rng.Intn(900)),
-				})
+				}}
 				if rng.Bool(0.3) {
-					w.Wayback.Add(u, crawl.AddDate(0, 0, rng.Intn(400)))
+					rp.capture = crawl.AddDate(0, 0, rng.Intn(400))
+					rp.archived = true
 				}
+				p.reposts = append(p.reposts, rp)
 			}
+			w.do(p.render, func() { p.applyTo(w) })
 		}
 	}
 
@@ -206,7 +219,14 @@ func (w *World) genWeb(rng *randx.Rand) {
 			entry.Actionable = false
 			entry.Severity = photodna.Severity(1 + rng.Intn(3))
 		}
-		w.HashList.Add(w.ModelImage(m, idx), entry)
+		hp := &hashPlan{
+			seed:    m.Seed,
+			variant: m.Images[idx].Variant,
+			pose:    m.Images[idx].Pose,
+			size:    cfg.ImageSize,
+			entry:   entry,
+		}
+		w.do(hp.render, func() { hp.applyTo(w) })
 		flagged++
 	}
 

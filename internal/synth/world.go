@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/domaincls"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/photodna"
 	"repro/internal/randx"
 	"repro/internal/reverse"
+	"repro/internal/tracex"
 	"repro/internal/wayback"
 )
 
@@ -158,11 +160,55 @@ type World struct {
 	flaggedQueue  []int // model indices still to be placed in TOPs
 	pendingProofs []int // w.Proofs indices awaiting their thread ID
 	urlCounter    int
+	// jobs is the parallel generation executor (exec.go); nil on the
+	// inline path and always nil by the time Generate returns, so
+	// DeepEqual across worker counts compares pure world state.
+	jobs *jobRunner
 }
 
-// Generate builds the world.
+// Generate builds the world, fanning image work out over
+// cfg.Workers goroutines (GOMAXPROCS when unset). The result is
+// bit-identical to GenerateSequential for every worker count.
 func Generate(cfg Config) *World {
-	cfg = cfg.withDefaults()
+	//lint:ignore ctxhygiene Generate is the context-free convenience entry; traced callers use GenerateContext.
+	return GenerateContext(context.Background(), cfg)
+}
+
+// GenerateContext is Generate under a caller context: any tracer in
+// ctx records per-generator child spans (hosting/web/forums), and
+// cancelling ctx abandons outstanding image jobs — the half-built
+// world must then be discarded.
+func GenerateContext(ctx context.Context, cfg Config) *World {
+	workers := cfg.EffectiveWorkers()
+	w := newWorld(cfg)
+	if workers > 1 {
+		w.jobs = startJobRunner(ctx, workers)
+	}
+	w.generate(ctx)
+	if w.jobs != nil {
+		w.jobs.close()
+		w.jobs = nil
+	}
+	return w
+}
+
+// GenerateSequential is the single-goroutine reference: the exact
+// walk Generate performs, with every image job executed inline at its
+// submission point. Generate must produce a DeepEqual world for every
+// worker count; the equivalence test holds it to that (the same
+// pattern core.RunSequential pins for study results).
+func GenerateSequential(cfg Config) *World {
+	w := newWorld(cfg)
+	//lint:ignore ctxhygiene the sequential reference runs no goroutines and records no spans; there is nothing to cancel or trace.
+	w.generate(context.Background())
+	return w
+}
+
+// newWorld allocates the empty world and pre-sizes the forum store
+// from the Table 1 calibration (capacity is invisible to DeepEqual,
+// so both Generate paths share the estimate).
+func newWorld(cfg Config) *World {
+	cfg = cfg.Canonical()
 	w := &World{
 		Config:       cfg,
 		Store:        forum.NewStore(),
@@ -176,13 +222,38 @@ func Generate(cfg Config) *World {
 		Actors:       make(map[forum.ActorID]*ActorTruth),
 		DomainRegion: make(map[string]photodna.Region),
 	}
-	root := randx.New(cfg.Seed)
-	w.genHostingSites()
-	if !cfg.SkipImages {
-		w.genWeb(root.SplitLabeled("web"))
+	var threads, posts, actors int
+	for _, spec := range paperForums {
+		nThreads := cfg.scaled(spec.Threads, 4)
+		threads += nThreads
+		posts += cfg.scaled(spec.Posts, nThreads*2)
+		actors += cfg.scaled(spec.Actors, 25)
 	}
-	w.genForums(root.SplitLabeled("forums"))
+	// Exchange threads, background host threads and their replies ride
+	// on top of the eWhoring corpus; every thread also carries a first
+	// post. The estimate only needs the right order of magnitude — the
+	// win is skipping the doubling copies of a 600k-element post slice.
+	threads += cfg.scaled(9066+6000, 13)
+	posts += threads + posts/2
+	w.Store.Reserve(threads, posts, actors)
 	return w
+}
+
+// generate runs the sequential random walk (see exec.go for how image
+// work leaves it).
+func (w *World) generate(ctx context.Context) {
+	root := randx.New(w.Config.Seed)
+	_, hostSpan := tracex.StartSpan(ctx, "synth hosting")
+	w.genHostingSites()
+	hostSpan.End()
+	if !w.Config.SkipImages {
+		_, webSpan := tracex.StartSpan(ctx, "synth web")
+		w.genWeb(root.SplitLabeled("web"))
+		webSpan.End()
+	}
+	_, forumSpan := tracex.StartSpan(ctx, "synth forums")
+	w.genForums(root.SplitLabeled("forums"))
+	forumSpan.End()
 }
 
 // ModelImage regenerates the i-th image of a model (images are not
